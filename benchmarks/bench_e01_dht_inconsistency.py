@@ -1,0 +1,17 @@
+"""E1: a vanilla Chord-style DHT returns inconsistent results under churn.
+
+Paper claim (motivation): best-effort DHTs violate consistency at rates
+that grow as node lifetimes shrink.
+"""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e01
+
+
+def test_e01_dht_inconsistency(benchmark):
+    result = run_once(benchmark, lambda: run_e01(quick=True))
+    save_result(result)
+    pct = result.column("violation_pct")
+    assert pct[0] > 0, "harsh churn must produce violations in the baseline"
+    # Violations shrink (or at worst stay flat) as lifetimes grow.
+    assert pct[-1] <= pct[0] * 1.5

@@ -1,0 +1,18 @@
+"""E2: Scatter is linearizable under churn; the Chord baseline is not.
+
+Paper claim (headline): linearizable consistency even with very short
+node lifetimes.
+"""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e02
+
+
+def test_e02_consistency(benchmark):
+    result = run_once(benchmark, lambda: run_e02(quick=True))
+    save_result(result)
+    scatter = [r for r in result.rows if r["backend"] == "scatter"]
+    chord = [r for r in result.rows if r["backend"] == "chord"]
+    assert all(r["violations"] == 0 for r in scatter), "Scatter must have zero violations"
+    assert any(r["violations"] > 0 for r in chord), "the baseline should show violations"
+    assert all(r["reads_checked"] > 50 for r in scatter), "need real read volume to claim zero"

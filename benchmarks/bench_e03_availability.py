@@ -1,0 +1,14 @@
+"""E3: Scatter stays available under churn (at a small cost vs no churn)."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e03
+
+
+def test_e03_availability(benchmark):
+    result = run_once(benchmark, lambda: run_e03(quick=True))
+    save_result(result)
+    scatter = [r for r in result.rows if r["backend"] == "scatter"]
+    no_churn = next(r for r in scatter if r["median_lifetime_s"] == "none")
+    assert no_churn["availability"] > 0.999
+    churned = [r for r in scatter if r["median_lifetime_s"] != "none"]
+    assert all(r["availability"] > 0.95 for r in churned), "practical availability under churn"

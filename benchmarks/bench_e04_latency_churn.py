@@ -1,0 +1,15 @@
+"""E4: Scatter operation latency degrades gracefully with churn."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e04
+
+
+def test_e04_latency_under_churn(benchmark):
+    result = run_once(benchmark, lambda: run_e04(quick=True))
+    save_result(result)
+    rows = {r["median_lifetime_s"]: r for r in result.rows}
+    baseline = rows["none"]
+    harshest = rows[min(k for k in rows if k != "none")]
+    # Median latency under heavy churn stays within 3x of the quiet system.
+    assert harshest["get_p50_ms"] < 3 * baseline["get_p50_ms"]
+    assert harshest["put_p50_ms"] < 3 * baseline["put_p50_ms"]

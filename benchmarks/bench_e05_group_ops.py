@@ -1,0 +1,16 @@
+"""E5: group operations (split/merge/migrate/repartition/join) are cheap
+enough to run continuously as churn-repair mechanisms."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e05
+
+
+def test_e05_group_operation_latency(benchmark):
+    result = run_once(benchmark, lambda: run_e05(quick=True))
+    save_result(result)
+    by_op = {r["operation"]: r for r in result.rows}
+    for op in ("split", "merge", "migrate", "repartition", "join"):
+        assert by_op[op]["samples"] > 0, f"no successful {op} samples"
+    # Each structural operation completes within a second at LAN latency.
+    for op in ("split", "merge", "migrate", "repartition"):
+        assert by_op[op]["p50_ms"] < 1000

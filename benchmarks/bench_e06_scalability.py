@@ -1,0 +1,14 @@
+"""E6: aggregate throughput scales near-linearly with system size."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e06
+
+
+def test_e06_throughput_scaling(benchmark):
+    result = run_once(benchmark, lambda: run_e06(quick=True))
+    save_result(result)
+    throughput = result.column("ops_per_s")
+    nodes = result.column("nodes")
+    # Quadrupling the nodes should at least triple throughput.
+    scale = (throughput[-1] / throughput[0]) / (nodes[-1] / nodes[0])
+    assert scale > 0.75, f"scaling efficiency {scale:.2f} too low"

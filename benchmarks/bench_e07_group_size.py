@@ -1,0 +1,19 @@
+"""E7: larger groups survive churn better (the resilience knob)."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e07
+
+
+def test_e07_group_size_resilience(benchmark):
+    result = run_once(benchmark, lambda: run_e07(quick=True))
+    save_result(result)
+    harsh = {r["group_size"]: r for r in result.rows if r["median_lifetime_s"] == 100.0}
+    # Failure probability falls monotonically with group size.
+    assert harsh[1]["p_simulated"] >= harsh[3]["p_simulated"] >= harsh[5]["p_simulated"]
+    assert harsh[7]["p_simulated"] < harsh[1]["p_simulated"]
+    # Analytic model tracks the simulation within an order of magnitude.
+    for size in (3, 5):
+        sim_p = harsh[size]["p_simulated"]
+        ana_p = harsh[size]["p_analytic"]
+        if sim_p > 0 and ana_p > 0:
+            assert 0.1 < sim_p / ana_p < 10

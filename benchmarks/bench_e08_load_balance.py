@@ -1,0 +1,15 @@
+"""E8: the load-balance policy splits hot groups at the load median."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e08
+
+
+def test_e08_load_balanced_splits(benchmark):
+    result = run_once(benchmark, lambda: run_e08(quick=True))
+    save_result(result)
+    by_mode = {r["split_key_mode"]: r for r in result.rows}
+    # Load-median splits divide observed load nearly evenly; midpoint
+    # splits leave a visibly hotter half.
+    assert by_mode["load_median"]["hot_half_share_pct"] < by_mode["midpoint"]["hot_half_share_pct"]
+    assert by_mode["load_median"]["hot_half_share_pct"] < 58
+    assert by_mode["load_median"]["load_cv_pct"] <= by_mode["midpoint"]["load_cv_pct"] * 1.05

@@ -1,0 +1,12 @@
+"""E9: the latency policy moves each group's leader to its quorum
+latency optimum, cutting replication latency."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e09
+
+
+def test_e09_leader_placement(benchmark):
+    result = run_once(benchmark, lambda: run_e09(quick=True))
+    save_result(result)
+    by_mode = {r["leader_mode"]: r for r in result.rows}
+    assert by_mode["latency"]["commit_p50_ms"] <= by_mode["static"]["commit_p50_ms"]

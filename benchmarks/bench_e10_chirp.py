@@ -1,0 +1,15 @@
+"""E10: Chirp (Twitter clone) performs competitively on Scatter vs the
+OpenDHT-style baseline."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e10
+
+
+def test_e10_chirp(benchmark):
+    result = run_once(benchmark, lambda: run_e10(quick=True))
+    save_result(result)
+    by_backend = {r["backend"]: r for r in result.rows}
+    assert by_backend["scatter"]["fetches"] > 100
+    assert by_backend["chord"]["fetches"] > 100
+    # Scatter's cached group routing beats per-key Chord lookups.
+    assert by_backend["scatter"]["fetch_p50_ms"] <= by_backend["chord"]["fetch_p50_ms"]

@@ -1,0 +1,13 @@
+"""E11 (ablation): leader leases serve reads locally; without them every
+read costs a Paxos round."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e11
+
+
+def test_e11_lease_ablation(benchmark):
+    result = run_once(benchmark, lambda: run_e11(quick=True))
+    save_result(result)
+    by_mode = {r["lease_reads"]: r for r in result.rows}
+    assert by_mode[True]["get_p50_ms"] < by_mode[False]["get_p50_ms"] * 0.8
+    assert by_mode[True]["ops_per_s"] > by_mode[False]["ops_per_s"]

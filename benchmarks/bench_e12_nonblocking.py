@@ -1,0 +1,17 @@
+"""E12 (ablation): 2PC over Paxos groups is non-blocking; classic 2PC
+with an unreplicated coordinator blocks forever on coordinator death."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e12
+
+
+def test_e12_nonblocking_transactions(benchmark):
+    result = run_once(benchmark, lambda: run_e12(quick=True))
+    save_result(result)
+    by_design = {r["design"].split(" ")[0]: r for r in result.rows}
+    scatter = by_design["scatter"]
+    classic = by_design["classic"]
+    assert scatter["resolved"] == scatter["trials"], "Scatter must always resolve"
+    assert scatter["max_block_s"] < 30
+    assert classic["resolved"] == 0, "classic 2PC must stay blocked"
+    assert classic["mean_block_s"] > 50

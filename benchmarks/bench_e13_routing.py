@@ -1,0 +1,18 @@
+"""E13 (bonus ablation): gossip-maintained routing caches keep cold
+lookups at O(1)-ish hops; without them hops grow with the ring."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e13
+
+
+def test_e13_routing_hops(benchmark):
+    result = run_once(benchmark, lambda: run_e13(quick=True))
+    save_result(result)
+    rows = {(r["groups"], r["gossip"]): r for r in result.rows}
+    biggest = max(g for g, _ in rows)
+    with_gossip = rows[(biggest, True)]["mean_hops"]
+    without = rows[(biggest, False)]["mean_hops"]
+    assert with_gossip < without, "gossip must shorten cold lookups"
+    assert with_gossip < 4
+    # Without gossip, greedy successor walking scales with ring size.
+    assert without > 1.5 * with_gossip

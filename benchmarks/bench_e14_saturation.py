@@ -1,0 +1,22 @@
+"""E14 (bonus): latency-throughput curve with a per-op CPU service model.
+Throughput plateaus as offered load approaches the leaders' aggregate
+capacity; latency climbs past the knee."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e14
+
+
+def test_e14_saturation_curve(benchmark):
+    result = run_once(benchmark, lambda: run_e14(quick=True))
+    save_result(result)
+    throughput = result.column("ops_per_s")
+    clients = result.column("clients")
+    p50 = result.column("p50_ms")
+    # Low load: throughput grows ~linearly with clients.
+    assert throughput[1] > 3 * throughput[0]
+    # High load: the marginal client buys much less than linear.
+    low_gain = throughput[1] / clients[1]
+    high_gain = (throughput[-1] - throughput[-2]) / (clients[-1] - clients[-2])
+    assert high_gain < 0.6 * low_gain, "no saturation knee visible"
+    # Latency climbs under load.
+    assert p50[-1] > 1.3 * p50[0]

@@ -1,0 +1,15 @@
+"""E15 (bonus): write batching coalesces concurrent puts into shared log
+slots, cutting protocol messages per operation.  The cost is the batch
+window added to write latency — the classic batching tradeoff."""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e15
+
+
+def test_e15_batching(benchmark):
+    result = run_once(benchmark, lambda: run_e15(quick=True))
+    save_result(result)
+    by_mode = {r["batch"]: r for r in result.rows}
+    assert by_mode[True]["msgs_per_op"] < 0.85 * by_mode[False]["msgs_per_op"]
+    # Latency pays for the batch window but stays in the same regime.
+    assert by_mode[True]["put_p50_ms"] < 2 * by_mode[False]["put_p50_ms"]

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one experiment (a table/figure of the paper)
+in its quick configuration, prints the resulting table, saves it under
+``benchmarks/results/``, and asserts the qualitative *shape* the paper
+reports (who wins, which direction a knob moves a metric).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(result) -> None:
+    """Print the table and persist it for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment.lower()}.txt")
+    with open(path, "w") as f:
+        f.write(result.render() + "\n")
+    print()
+    print(result.render())
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,13 @@
+"""Ensure ``src/`` is importable when the package is not pip-installed.
+
+The offline environment here lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim makes ``pytest`` work from a clean
+checkout either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

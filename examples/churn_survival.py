@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Churn survival: Scatter vs a Chord-style DHT under heavy churn.
+
+Runs the same closed-loop key-value workload over both backends while
+nodes die with a median lifetime of 120 simulated seconds (harsher than
+measured Gnutella churn) and are replaced by fresh joiners.  At the end
+it prints availability, latency, and — the paper's point — the number
+of linearizability violations each system produced.
+
+Run:  python examples/churn_survival.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.builders import (
+    DeploymentParams,
+    build_chord_deployment,
+    build_scatter_deployment,
+)
+from repro.harness.metrics import workload_metrics
+from repro.policies import ScatterPolicy
+from repro.workloads import ChurnProcess, UniformKeys, exponential_lifetime
+from repro.workloads.driver import ClosedLoopWorkload
+
+MEDIAN_LIFETIME = 120.0
+DURATION = 90.0
+
+
+def run(backend: str) -> dict:
+    params = DeploymentParams(n_nodes=20, n_groups=4, n_clients=3, seed=7)
+    if backend == "scatter":
+        deployment = build_scatter_deployment(
+            params, policy=ScatterPolicy(target_size=5, split_size=11, merge_size=3)
+        )
+    else:
+        deployment = build_chord_deployment(params)
+    sim, system, clients = deployment.sim, deployment.system, deployment.clients
+
+    workload = ClosedLoopWorkload(
+        sim, clients, UniformKeys(40), read_fraction=0.5, think_time=0.05
+    )
+    workload.start()
+    sim.run_for(5.0)  # populate
+
+    churn = ChurnProcess(sim, system, exponential_lifetime(MEDIAN_LIFETIME))
+    churn.start()
+    start = sim.now
+    sim.run_for(DURATION)
+    churn.stop()
+    workload.stop()
+    sim.run_for(2.0)
+
+    metrics = workload_metrics(workload.all_records(), window=(start, start + DURATION))
+    metrics["departures"] = churn.departures
+    return metrics
+
+
+def main() -> None:
+    print(f"churn: median node lifetime {MEDIAN_LIFETIME:.0f}s, {DURATION:.0f}s measured window\n")
+    print(f"{'backend':<10} {'ops':>6} {'avail':>7} {'p50 ms':>8} {'reads':>6} {'violations':>11}")
+    print("-" * 54)
+    for backend in ("scatter", "chord"):
+        m = run(backend)
+        print(
+            f"{backend:<10} {m['ops']:>6} {m['availability']:>7.3f} "
+            f"{1000 * m['latency_p50']:>8.1f} {m['reads_checked']:>6} "
+            f"{m['violations']:>11}"
+        )
+    print(
+        "\nScatter pays a little latency and availability for consensus, and"
+        "\nin exchange never violates linearizability; the vanilla DHT stays"
+        "\nfast but silently serves stale or lost data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Run every experiment at full (paper) scale and save the tables.
+
+Output goes to benchmarks/results/full_eNN.txt; EXPERIMENTS.md records
+these numbers.  Takes tens of minutes of wall-clock time.
+
+Run:  python scripts/run_full_experiments.py [E1 E5 ...]
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results")
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for name in wanted:
+        fn = ALL_EXPERIMENTS[name]
+        started = time.time()
+        print(f"[{time.strftime('%H:%M:%S')}] running {name} (full scale)...", flush=True)
+        result = fn(quick=False)
+        elapsed = time.time() - started
+        path = os.path.join(RESULTS_DIR, f"full_{name.lower()}.txt")
+        with open(path, "w") as f:
+            f.write(result.render() + "\n")
+            f.write(f"\n(wall clock: {elapsed:.1f}s)\n")
+        print(result.render())
+        print(f"[{name} done in {elapsed:.1f}s]\n", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Reproduction of "Scalable consistency in Scatter" (SOSP 2011).
+
+Scatter is a scalable, self-organizing, *linearizable* distributed
+key-value store: a DHT whose ring positions are held by Paxos groups
+rather than individual nodes, restructured by distributed transactions
+whose participants are themselves replicated.
+
+Most users want one of:
+
+- :class:`repro.dht.system.ScatterSystem` — build a deployment in the
+  simulator (``ScatterSystem.build(sim, net, n_nodes, n_groups)``).
+- :class:`repro.dht.client.ScatterClient` — linearizable get/put/cas.
+- :mod:`repro.harness.experiments` — the paper's evaluation, E1–E15.
+- ``python -m repro`` — the command-line interface over both.
+
+See README.md for the tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,20 @@
+"""Consistency checking and statistics over operation histories."""
+
+from repro.analysis.linearizability import (
+    CheckResult,
+    check_history,
+    check_key_history,
+    wing_gong_check,
+)
+from repro.analysis.stats import cdf_points, mean, percentile, summarize_latencies
+
+__all__ = [
+    "CheckResult",
+    "cdf_points",
+    "check_history",
+    "check_key_history",
+    "mean",
+    "percentile",
+    "summarize_latencies",
+    "wing_gong_check",
+]

@@ -1,0 +1,53 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """p in [0, 100]; linear interpolation between order statistics."""
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def cdf_points(values: Sequence[float], n_points: int = 20) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    points = []
+    for i in range(1, n_points + 1):
+        frac = i / n_points
+        idx = min(int(frac * len(ordered)) - 1, len(ordered) - 1)
+        idx = max(idx, 0)
+        points.append((ordered[idx], frac))
+    return points
+
+
+def summarize_latencies(latencies: Iterable[float]) -> dict[str, float]:
+    values = [v for v in latencies if v >= 0]
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+    }

@@ -1,0 +1,14 @@
+"""Baseline systems Scatter is evaluated against.
+
+- :mod:`repro.baseline.chord` — a faithful Chord-style DHT with finger
+  tables, successor lists, periodic stabilization, and successor-list
+  replication *without* consensus.  This is the "vanilla DHT"/OpenDHT
+  stand-in from the paper: scalable and self-organizing, but with
+  consistency windows under churn that the experiments measure.
+- :mod:`repro.txn.classic` — single-node-coordinator 2PC for the
+  non-blocking ablation (E12).
+"""
+
+from repro.baseline.chord import ChordClient, ChordConfig, ChordNode, ChordSystem
+
+__all__ = ["ChordClient", "ChordConfig", "ChordNode", "ChordSystem"]

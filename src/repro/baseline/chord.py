@@ -1,0 +1,503 @@
+"""Chord-style DHT with successor-list replication (no consensus).
+
+This is the baseline the paper's motivation measures: a well-implemented
+peer-to-peer key-value store in the OpenDHT mold.  Every standard
+mechanism is here — finger tables for O(log n) lookups, successor lists
+for fault tolerance, periodic stabilization, key handoff on membership
+change, and replica repair — and yet, because ownership is decided by
+each node's *local* view of the ring, churn opens windows where two
+nodes both believe they own a key, where an acked write lands on a node
+about to lose ownership, or where a departed owner takes the newest
+value with it.  Those windows are precisely the inconsistency the
+experiments quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dht.ring import KEY_SPACE, hash_key
+from repro.net.futures import Future, RpcError, RpcTimeout, spawn
+from repro.net.node import Node
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+from repro.store.kvstore import KvResult
+
+KEY_BITS = 32
+
+
+def in_interval(x: int, lo: int, hi: int, inclusive_hi: bool = False) -> bool:
+    """Is x in the clockwise interval (lo, hi) / (lo, hi] on the ring?
+
+    Chord convention: when lo == hi the interval spans the whole circle,
+    so (a, a] contains everything and (a, a) everything except a.
+    """
+    x, lo, hi = x % KEY_SPACE, lo % KEY_SPACE, hi % KEY_SPACE
+    if lo == hi:
+        return True if inclusive_hi else x != lo
+    if lo < hi:
+        return (lo < x < hi) or (inclusive_hi and x == hi)
+    return x > lo or x < hi or (inclusive_hi and x == hi)
+
+
+@dataclass
+class ChordConfig:
+    stabilize_interval: float = 0.5
+    fix_fingers_interval: float = 0.5
+    repair_interval: float = 2.0
+    successor_list_len: int = 4
+    replication: int = 3
+    rpc_timeout: float = 0.5
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClosestReq:
+    key: int
+
+
+@dataclass(frozen=True)
+class ClosestResp:
+    done: bool
+    node: str  # owner if done, else next hop
+    successors: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class StabilizeReq:
+    pass
+
+
+@dataclass(frozen=True)
+class StabilizeResp:
+    predecessor: str | None
+    successors: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class NotifyMsg:
+    pass
+
+
+@dataclass(frozen=True)
+class PutReq:
+    key: int
+    value: object
+    stamp: float
+
+
+@dataclass(frozen=True)
+class GetReq:
+    key: int
+
+
+@dataclass(frozen=True)
+class OpResp:
+    ok: bool
+    value: object = None
+    version: int = 0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ReplicaPush:
+    items: tuple[tuple[int, object, float, int], ...]  # (key, value, stamp, version)
+
+
+@dataclass
+class _Stored:
+    value: object
+    stamp: float
+    version: int
+
+
+class ChordNode(Node):
+    """One Chord peer."""
+
+    def __init__(
+        self,
+        node_id: str,
+        sim: Simulator,
+        net: SimNetwork,
+        config: ChordConfig | None = None,
+    ) -> None:
+        super().__init__(node_id, sim, net)
+        self.config = config or ChordConfig()
+        self.ring_id = hash_key(node_id)
+        self.successors: list[str] = [node_id]
+        self.predecessor: str | None = None
+        self.fingers: dict[int, str] = {}
+        self._next_finger = 0
+        self.store: dict[int, _Stored] = {}
+        self._ring_ids: dict[str, int] = {node_id: self.ring_id}
+        self._rng = sim.rng(f"chord:{node_id}")
+
+        self.on(ClosestReq, self._on_closest)
+        self.on(StabilizeReq, self._on_stabilize)
+        self.on(NotifyMsg, self._on_notify)
+        self.on(PutReq, self._on_put)
+        self.on(GetReq, self._on_get)
+        self.on(ReplicaPush, self._on_replica_push)
+
+    # ------------------------------------------------------------------
+    # Ring arithmetic
+    # ------------------------------------------------------------------
+    def rid(self, name: str) -> int:
+        if name not in self._ring_ids:
+            self._ring_ids[name] = hash_key(name)
+        return self._ring_ids[name]
+
+    @property
+    def successor(self) -> str:
+        return self.successors[0] if self.successors else self.node_id
+
+    def owns(self, key: int) -> bool:
+        """Key in (predecessor, self] by this node's local view."""
+        if self.predecessor is None:
+            return True
+        return in_interval(key, self.rid(self.predecessor), self.ring_id, inclusive_hi=True)
+
+    def closest_preceding(self, key: int) -> str:
+        """Best local hop toward ``key``: fingers then successors."""
+        best = self.node_id
+        for candidate in list(self.fingers.values()) + self.successors:
+            if candidate == self.node_id:
+                continue
+            if in_interval(self.rid(candidate), self.ring_id, key):
+                if best == self.node_id or in_interval(self.rid(candidate), self.rid(best), key):
+                    best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.set_timer(self._rng.uniform(0, self.config.stabilize_interval), self._stabilize_tick)
+        self.set_timer(
+            self._rng.uniform(0, self.config.fix_fingers_interval), self._fix_fingers_tick
+        )
+        self.set_timer(self._rng.uniform(0, self.config.repair_interval), self._repair_tick)
+        self.set_timer(
+            self._rng.uniform(0, self.config.stabilize_interval), self._check_pred_tick
+        )
+
+    def _check_pred_tick(self) -> None:
+        """Clear a dead predecessor so stale pointers stop circulating."""
+        pred = self.predecessor
+        if pred is not None:
+            future = self.request(pred, StabilizeReq(), timeout=self.config.rpc_timeout)
+
+            def on_done(f: Future) -> None:
+                if self.alive and f.exception is not None and self.predecessor == pred:
+                    self.predecessor = None
+
+            future.add_callback(on_done)
+        self.set_timer(self.config.stabilize_interval, self._check_pred_tick)
+
+    def join(self, seed: str) -> Future:
+        """Join the ring via ``seed``: find our successor and stabilize in."""
+        return spawn(self.sim, self._join_proc(seed))
+
+    def _join_proc(self, seed: str):
+        while self.alive:
+            try:
+                owner = yield from _lookup(self, seed, self.ring_id)
+            except _LookupFailed:
+                yield _sleep(self.sim, 0.5)
+                continue
+            if owner == self.node_id:
+                yield _sleep(self.sim, 0.5)
+                continue
+            self.successors = [owner]
+            self.send(owner, NotifyMsg())
+            return owner
+        return None
+
+    # ------------------------------------------------------------------
+    # Stabilization (the heart of Chord's self-organization)
+    # ------------------------------------------------------------------
+    def _stabilize_tick(self) -> None:
+        succ = self.successor
+        if succ != self.node_id:
+            future = self.request(succ, StabilizeReq(), timeout=self.config.rpc_timeout)
+            future.add_callback(lambda f: self._after_stabilize(succ, f))
+        self.set_timer(self.config.stabilize_interval, self._stabilize_tick)
+
+    def _after_stabilize(self, succ: str, future: Future) -> None:
+        if not self.alive:
+            return
+        if future.exception is not None:
+            # Successor unresponsive: fail over to the next in the list.
+            if len(self.successors) > 1:
+                self.successors.pop(0)
+            else:
+                self.successors = [self.node_id]
+            return
+        resp = future.result()
+        # Adopt successor's predecessor if it sits between us.
+        cand = resp.predecessor
+        if cand is not None and cand != self.node_id and in_interval(
+            self.rid(cand), self.ring_id, self.rid(succ)
+        ):
+            self.successors = [cand] + self.successors
+        # Refresh the successor list from the (possibly new) successor.
+        chain = [self.successor] + [
+            s for s in resp.successors if s != self.node_id
+        ]
+        deduped: list[str] = []
+        for name in chain:
+            if name not in deduped:
+                deduped.append(name)
+        self.successors = deduped[: self.config.successor_list_len]
+        self.send(self.successor, NotifyMsg())
+
+    def _on_stabilize(self, src: str, msg: StabilizeReq) -> StabilizeResp:
+        return StabilizeResp(predecessor=self.predecessor, successors=tuple(self.successors))
+
+    def _on_notify(self, src: str, msg: NotifyMsg) -> None:
+        if self.predecessor is None or in_interval(
+            self.rid(src), self.rid(self.predecessor), self.ring_id
+        ):
+            old = self.predecessor
+            self.predecessor = src
+            self._handoff_keys_to(src, old)
+
+    def _handoff_keys_to(self, new_pred: str, old_pred: str | None) -> None:
+        """A new predecessor owns part of our key range: push it over."""
+        lo = self.rid(old_pred) if old_pred is not None else self.rid(new_pred)
+        items = []
+        for key, stored in self.store.items():
+            if in_interval(key, lo, self.rid(new_pred), inclusive_hi=True) or (
+                old_pred is None and not self.owns(key)
+            ):
+                items.append((key, stored.value, stored.stamp, stored.version))
+        if items:
+            self.send(new_pred, ReplicaPush(items=tuple(items)))
+
+    def _fix_fingers_tick(self) -> None:
+        i = self._next_finger
+        self._next_finger = (self._next_finger + 1) % KEY_BITS
+        target = (self.ring_id + (1 << i)) % KEY_SPACE
+        spawn(self.sim, self._fix_finger(i, target))
+        self.set_timer(self.config.fix_fingers_interval, self._fix_fingers_tick)
+
+    def _fix_finger(self, i: int, target: int):
+        try:
+            owner = yield from _lookup(self, self.node_id, target)
+        except _LookupFailed:
+            return
+        if self.alive:
+            self.fingers[i] = owner
+
+    def _repair_tick(self) -> None:
+        """Push owned keys to the successor list (replica maintenance)."""
+        items = tuple(
+            (key, s.value, s.stamp, s.version) for key, s in self.store.items() if self.owns(key)
+        )
+        if items:
+            for succ in self.successors[: self.config.replication - 1]:
+                if succ != self.node_id:
+                    self.send(succ, ReplicaPush(items=items))
+        self.set_timer(self.config.repair_interval, self._repair_tick)
+
+    # ------------------------------------------------------------------
+    # Lookup and storage
+    # ------------------------------------------------------------------
+    def _on_closest(self, src: str, msg: ClosestReq) -> ClosestResp:
+        succ = self.successor
+        if in_interval(msg.key, self.ring_id, self.rid(succ), inclusive_hi=True):
+            return ClosestResp(done=True, node=succ, successors=tuple(self.successors))
+        hop = self.closest_preceding(msg.key)
+        if hop == self.node_id:
+            return ClosestResp(done=True, node=self.node_id)
+        return ClosestResp(done=False, node=hop)
+
+    def _on_put(self, src: str, msg: PutReq) -> OpResp:
+        stored = self.store.get(msg.key)
+        version = (stored.version if stored else 0) + 1
+        self.store[msg.key] = _Stored(value=msg.value, stamp=msg.stamp, version=version)
+        # Asynchronous best-effort replication: ack before replicas land.
+        items = ((msg.key, msg.value, msg.stamp, version),)
+        for succ in self.successors[: self.config.replication - 1]:
+            if succ != self.node_id:
+                self.send(succ, ReplicaPush(items=items))
+        return OpResp(ok=True, version=version)
+
+    def _on_get(self, src: str, msg: GetReq) -> OpResp:
+        stored = self.store.get(msg.key)
+        if stored is None:
+            return OpResp(ok=False, error="not_found")
+        return OpResp(ok=True, value=stored.value, version=stored.version)
+
+    def _on_replica_push(self, src: str, msg: ReplicaPush) -> None:
+        for key, value, stamp, version in msg.items:
+            mine = self.store.get(key)
+            if mine is None or (stamp, version) > (mine.stamp, mine.version):
+                self.store[key] = _Stored(value=value, stamp=stamp, version=version)
+
+
+class _LookupFailed(Exception):
+    pass
+
+
+def _lookup(node: Node, start: str, key: int, max_hops: int = 32, hop_counter: list | None = None):
+    """Iterative Chord lookup driven from ``node``; returns the owner name.
+
+    ``hop_counter`` (a single-element list) accumulates the number of
+    routing RPCs issued, for hop-count measurements.
+    """
+    target = start
+    rpc_timeout = getattr(node, "config").rpc_timeout if hasattr(node, "config") else 0.5
+    for _hop in range(max_hops):
+        if hop_counter is not None:
+            hop_counter[0] += 1
+        try:
+            resp = yield node.request(target, ClosestReq(key=key), timeout=rpc_timeout)
+        except (RpcTimeout, RpcError) as exc:
+            raise _LookupFailed(str(exc)) from exc
+        if resp.done:
+            return resp.node
+        if resp.node == target:
+            raise _LookupFailed("lookup made no progress")
+        target = resp.node
+    raise _LookupFailed("hop limit exceeded")
+
+
+# ---------------------------------------------------------------------------
+# Client and system
+# ---------------------------------------------------------------------------
+@dataclass
+class ChordClientConfig:
+    rpc_timeout: float = 0.5
+    op_timeout: float = 8.0
+    lookup_retries: int = 4
+
+
+class ChordClient(Node):
+    """Client mirroring :class:`ScatterClient`'s API over the Chord ring."""
+
+    def __init__(
+        self,
+        client_id: str,
+        sim: Simulator,
+        net: SimNetwork,
+        seed_provider: Callable[[], list[str]],
+        config: ChordClientConfig | None = None,
+    ) -> None:
+        super().__init__(client_id, sim, net)
+        self.seed_provider = seed_provider
+        self.config = config or ChordClientConfig()
+        self.records = []
+        self._rng = sim.rng(f"chordclient:{client_id}")
+
+    def get(self, key: str | int) -> Future:
+        return self._run("get", self._key(key), None)
+
+    def put(self, key: str | int, value: object) -> Future:
+        return self._run("put", self._key(key), value)
+
+    @staticmethod
+    def _key(key: str | int) -> int:
+        return hash_key(key) if isinstance(key, str) else key
+
+    def _run(self, op: str, key: int, value: object) -> Future:
+        from repro.dht.client import OpRecord  # shared record type
+
+        record = OpRecord(op=op, key=key, value=value, invoke_time=self.sim.now)
+        self.records.append(record)
+        return spawn(self.sim, self._op_proc(op, key, value, record))
+
+    def _op_proc(self, op: str, key: int, value: object, record):
+        deadline = self.sim.now + self.config.op_timeout
+        while self.sim.now < deadline:
+            seeds = self.seed_provider()
+            if not seeds:
+                break
+            seed = self._rng.choice(seeds)
+            record.attempts += 1
+            hop_counter = [0]
+            try:
+                owner = yield from _lookup(self, seed, key, hop_counter=hop_counter)
+            except _LookupFailed:
+                record.hops += hop_counter[0]
+                yield _sleep(self.sim, 0.2)
+                continue
+            record.hops += hop_counter[0]
+            msg = PutReq(key, value, stamp=self.sim.now) if op == "put" else GetReq(key)
+            try:
+                resp = yield self.request(owner, msg, timeout=self.config.rpc_timeout)
+            except (RpcTimeout, RpcError):
+                yield _sleep(self.sim, 0.2)
+                continue
+            result = KvResult(ok=resp.ok, value=resp.value, version=resp.version, error=resp.error)
+            record.response_time = self.sim.now
+            record.result = result
+            return result
+        result = KvResult(ok=False, error="timeout")
+        record.response_time = self.sim.now
+        record.result = result
+        return result
+
+
+class ChordSystem:
+    """Builder mirroring :class:`ScatterSystem` for the baseline."""
+
+    def __init__(self, sim: Simulator, net: SimNetwork, config: ChordConfig | None = None) -> None:
+        self.sim = sim
+        self.net = net
+        self.config = config or ChordConfig()
+        self.nodes: dict[str, ChordNode] = {}
+        self._counter = 0
+
+    @staticmethod
+    def build(
+        sim: Simulator, net: SimNetwork, n_nodes: int, config: ChordConfig | None = None
+    ) -> "ChordSystem":
+        system = ChordSystem(sim, net, config)
+        names = [system._new_name() for _ in range(n_nodes)]
+        for name in names:
+            system.nodes[name] = ChordNode(name, sim, net, config=system.config)
+        # Pre-build a correct ring (the steady state), like ScatterSystem.
+        ordered = sorted(names, key=hash_key)
+        n = len(ordered)
+        for i, name in enumerate(ordered):
+            node = system.nodes[name]
+            node.successors = [ordered[(i + j + 1) % n] for j in range(system.config.successor_list_len)]
+            node.predecessor = ordered[(i - 1) % n]
+        for node in system.nodes.values():
+            node.start()
+        return system
+
+    def _new_name(self) -> str:
+        name = f"c{self._counter}"
+        self._counter += 1
+        return name
+
+    def add_node(self, seed: str | None = None) -> ChordNode:
+        name = self._new_name()
+        node = ChordNode(name, self.sim, self.net, config=self.config)
+        self.nodes[name] = node
+        node.start()
+        if seed is None:
+            alive = [n for n in self.alive_node_ids() if n != name]
+            seed = self.sim.rng("seeds").choice(alive) if alive else None
+        if seed is not None:
+            node.join(seed)
+        return node
+
+    def kill_node(self, node_id: str) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.shutdown()
+
+    def alive_node_ids(self) -> list[str]:
+        return sorted(name for name, node in self.nodes.items() if node.alive)
+
+
+def _sleep(sim: Simulator, delay: float) -> Future:
+    future = Future()
+    sim.schedule(delay, future.set_result, None)
+    return future

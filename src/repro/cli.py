@@ -1,0 +1,105 @@
+"""Command-line interface: run experiments and ad-hoc simulations.
+
+Usage::
+
+    python -m repro list
+    python -m repro run E2 E11 --full --seed 7
+    python -m repro churn --backend scatter --lifetime 120 --duration 90
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS, EXPERIMENT_TITLES, _churn_run
+from repro.harness.builders import DeploymentParams
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])):
+        print(f"{name:>4}  {EXPERIMENT_TITLES.get(name, '')}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.experiments or sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    for name in names:
+        key = name.upper()
+        if key not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try `python -m repro list`", file=sys.stderr)
+            return 2
+        started = time.time()
+        kwargs = {"quick": not args.full}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = ALL_EXPERIMENTS[key](**kwargs)
+        print(result.render())
+        if args.chart:
+            from repro.harness.charts import render_chart
+
+            print()
+            print(render_chart(result, args.chart))
+        print(f"[{key} in {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    params = DeploymentParams(
+        n_nodes=args.nodes, n_groups=max(1, args.nodes // 5), n_clients=3, seed=args.seed
+    )
+    metrics = _churn_run(
+        args.backend,
+        args.lifetime if args.lifetime > 0 else None,
+        args.duration,
+        params,
+    )
+    print(f"backend:       {args.backend}")
+    print(f"nodes:         {args.nodes}")
+    print(f"lifetime:      {args.lifetime if args.lifetime > 0 else 'no churn'}")
+    print(f"ops:           {metrics['ops']}")
+    print(f"availability:  {metrics['availability']:.4f}")
+    print(f"p50 latency:   {1000 * metrics['latency_p50']:.1f} ms")
+    print(f"reads checked: {metrics['reads_checked']}")
+    print(f"violations:    {metrics['violations']}")
+    print(f"departures:    {metrics['departures']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scatter (SOSP 2011) reproduction: experiments and simulations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments (default: all, quick scale)")
+    p_run.add_argument("experiments", nargs="*", help="e.g. E1 E2 e11")
+    p_run.add_argument("--full", action="store_true", help="paper-scale runs (slow)")
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--chart", metavar="COLUMN", default=None,
+                       help="also render an ASCII bar chart of this column")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_churn = sub.add_parser("churn", help="one ad-hoc churn run with metrics")
+    p_churn.add_argument("--backend", choices=["scatter", "chord"], default="scatter")
+    p_churn.add_argument("--lifetime", type=float, default=120.0,
+                         help="median node lifetime in seconds (0 = no churn)")
+    p_churn.add_argument("--duration", type=float, default=60.0)
+    p_churn.add_argument("--nodes", type=int, default=20)
+    p_churn.add_argument("--seed", type=int, default=1)
+    p_churn.set_defaults(fn=_cmd_churn)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Multi-Paxos replicated state machines — the replication substrate.
+
+Every Scatter group is a replicated state machine driven by this package:
+
+- :mod:`repro.consensus.single` — pure single-decree Paxos roles, used
+  directly by property tests of the safety argument.
+- :mod:`repro.consensus.log` — the per-replica log of accepted / chosen
+  entries.
+- :mod:`repro.consensus.replica` — leader-based Multi-Paxos with
+  heartbeats, randomized leader election, leader leases for local reads,
+  follower catch-up, and single-member reconfiguration through the log
+  (one add/remove at a time, so consecutive configurations always have
+  intersecting majorities).
+"""
+
+from repro.consensus.commands import (
+    CMD_CONFIG,
+    CMD_NOOP,
+    Command,
+    ConfigChange,
+)
+from repro.consensus.log import LogEntry, PaxosLog
+from repro.consensus.replica import (
+    NotLeader,
+    PaxosConfig,
+    PaxosReplica,
+    ProposalLost,
+)
+from repro.consensus.single import Acceptor, Ballot, Proposer
+
+__all__ = [
+    "Acceptor",
+    "Ballot",
+    "CMD_CONFIG",
+    "CMD_NOOP",
+    "Command",
+    "ConfigChange",
+    "LogEntry",
+    "NotLeader",
+    "PaxosConfig",
+    "PaxosLog",
+    "PaxosReplica",
+    "ProposalLost",
+    "Proposer",
+]

@@ -1,0 +1,137 @@
+"""Per-replica Paxos log: accepted entries, chosen entries, commit index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.consensus.single import Ballot
+
+
+@dataclass
+class LogEntry:
+    """State of one log slot on one replica."""
+
+    accepted_ballot: Ballot | None = None
+    accepted_value: Any = None
+    chosen: bool = False
+
+    @property
+    def value(self) -> Any:
+        return self.accepted_value
+
+
+class PaxosLog:
+    """Sparse log keyed by slot (slots start at 0).
+
+    ``commit_index`` is the highest slot N such that slots 0..N are all
+    chosen — the prefix that may be applied to the state machine.  It is
+    -1 when nothing is chosen.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, LogEntry] = {}
+        self.commit_index = -1
+        # Slots below first_slot were compacted into a snapshot; their
+        # entries are gone but remain (by construction) chosen/applied.
+        self.first_slot = 0
+
+    def entry(self, slot: int) -> LogEntry:
+        if slot < self.first_slot:
+            raise KeyError(f"slot {slot} compacted away (first_slot={self.first_slot})")
+        if slot not in self._entries:
+            self._entries[slot] = LogEntry()
+        return self._entries[slot]
+
+    def truncate_before(self, slot: int) -> None:
+        """Discard entries below ``slot`` (they live on in a snapshot).
+
+        Only committed prefixes may be compacted.
+        """
+        if slot > self.commit_index + 1:
+            raise ValueError(f"cannot compact past commit index ({slot} > {self.commit_index + 1})")
+        self._drop_below(slot)
+
+    def reset_to(self, slot: int) -> None:
+        """Jump forward after installing a snapshot covering [0, slot).
+
+        Unlike :meth:`truncate_before`, the local commit index may be far
+        behind: the snapshot vouches for the whole dropped prefix.
+        """
+        self._drop_below(slot)
+
+    def _drop_below(self, slot: int) -> None:
+        for s in [s for s in self._entries if s < slot]:
+            del self._entries[s]
+        self.first_slot = max(self.first_slot, slot)
+        self.commit_index = max(self.commit_index, self.first_slot - 1)
+        # Re-extend over any retained chosen entries beyond the jump.
+        while self.is_chosen(self.commit_index + 1):
+            self.commit_index += 1
+
+    def get(self, slot: int) -> LogEntry | None:
+        return self._entries.get(slot)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_slot(self) -> int:
+        """Highest slot with any accepted/chosen entry, or -1."""
+        return max(self._entries, default=-1)
+
+    def is_chosen(self, slot: int) -> bool:
+        if slot < self.first_slot:
+            return True  # compacted prefix is chosen by construction
+        e = self._entries.get(slot)
+        return e is not None and e.chosen
+
+    def chosen_value(self, slot: int) -> Any:
+        e = self._entries.get(slot)
+        if e is None or not e.chosen:
+            raise KeyError(f"slot {slot} not chosen")
+        return e.accepted_value
+
+    def mark_chosen(self, slot: int, value: Any) -> None:
+        """Record that ``value`` was chosen at ``slot`` and advance commit.
+
+        A chosen value is immutable; marking a slot chosen with a
+        different value indicates a protocol bug and raises.
+        """
+        if slot < self.first_slot:
+            return  # already compacted: necessarily chosen and applied
+        e = self.entry(slot)
+        if e.chosen and e.accepted_value != value:
+            raise AssertionError(
+                f"slot {slot}: chosen value changed {e.accepted_value!r} -> {value!r}"
+            )
+        e.chosen = True
+        e.accepted_value = value
+        while self.is_chosen(self.commit_index + 1):
+            self.commit_index += 1
+
+    def accepted_from(self, from_slot: int) -> list[tuple[int, Ballot, Any]]:
+        """(slot, ballot, value) for accepted entries at or after from_slot."""
+        out = []
+        for slot in sorted(self._entries):
+            if slot < from_slot:
+                continue
+            e = self._entries[slot]
+            if e.accepted_ballot is not None:
+                out.append((slot, e.accepted_ballot, e.accepted_value))
+        return out
+
+    def chosen_range(self, from_slot: int, to_slot: int) -> list[tuple[int, Any]]:
+        """Chosen (slot, value) pairs in [from_slot, to_slot]."""
+        out = []
+        for slot in range(from_slot, to_slot + 1):
+            e = self._entries.get(slot)
+            if e is not None and e.chosen:
+                out.append((slot, e.accepted_value))
+        return out
+
+    def iter_chosen(self) -> Iterator[tuple[int, Any]]:
+        for slot in sorted(self._entries):
+            e = self._entries[slot]
+            if e.chosen:
+                yield slot, e.accepted_value

@@ -1,0 +1,124 @@
+"""Wire messages for Multi-Paxos."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.commands import Command
+from repro.consensus.single import Ballot
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a for every slot >= from_slot."""
+
+    ballot: Ballot
+    from_slot: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: accepted suffix plus the acceptor's commit index."""
+
+    ballot: Ballot
+    from_slot: int
+    accepted: tuple[tuple[int, Ballot, Command], ...]
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class PrepareNack:
+    ballot: Ballot
+    promised: Ballot
+    lease_holder: str | None = None  # set when rejected because of a live lease
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a for one slot; piggybacks the leader's commit index."""
+
+    ballot: Ballot
+    slot: int
+    command: Command
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class Accepted:
+    ballot: Ballot
+    slot: int
+
+
+@dataclass(frozen=True)
+class AcceptNack:
+    ballot: Ballot
+    slot: int
+    promised: Ballot
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Leader liveness + commit propagation + lease renewal."""
+
+    ballot: Ballot
+    commit_index: int
+    send_time: float
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    ballot: Ballot
+    send_time: float
+    applied_index: int
+
+
+@dataclass(frozen=True)
+class TransferLease:
+    """Leadership handoff: the current leader blesses ``target``.
+
+    Every member updates its leader hint so the target's Prepare passes
+    the lease guard; the target campaigns immediately.
+    """
+
+    ballot: Ballot
+    target: str
+
+
+@dataclass(frozen=True)
+class NotMember:
+    """Tells an ex-member it was removed by a committed config change.
+
+    Configurations only move forward within a group generation and a
+    removed node is never re-added to the same group (group operations
+    create fresh groups instead), so this notification is authoritative.
+    """
+
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class CatchupRequest:
+    """Ask a peer for chosen entries starting at from_slot."""
+
+    from_slot: int
+
+
+@dataclass(frozen=True)
+class CatchupReply:
+    entries: tuple[tuple[int, Command], ...]
+    commit_index: int
+
+
+@dataclass(frozen=True)
+class InstallSnapshot:
+    """State transfer for a peer too far behind a compacted log.
+
+    ``snapshot`` is the opaque application state produced by the host's
+    snapshot function at ``last_included`` (every slot <= last_included
+    applied); ``members`` is the configuration in effect there.
+    """
+
+    snapshot: object
+    last_included: int
+    members: tuple[str, ...]
+    commit_index: int

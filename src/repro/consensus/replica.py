@@ -1,0 +1,811 @@
+"""Leader-based Multi-Paxos replica with leases and reconfiguration.
+
+One ``PaxosReplica`` is one member of one group's replicated state
+machine.  The protocol follows the classic Multi-Paxos structure:
+
+- **Leader election**: followers that miss heartbeats for a randomized
+  election timeout run phase 1 (Prepare) over all slots above their
+  commit index.  Ballot numbers are (round, replica_id) pairs.
+- **Replication**: the leader assigns commands to slots and runs phase 2
+  (Accept/Accepted); a slot is chosen once a majority of the current
+  configuration accepts it.  Chosen slots are applied in order.
+- **Leases**: the leader renews a read lease with each heartbeat round
+  that a majority acknowledges; while the lease is live (and the leader
+  has committed a no-op in its own ballot — the read barrier) reads are
+  served locally without a log round trip.  The simulator has no clock
+  skew, and acceptors refuse to promise to a new candidate while the
+  lease they granted is live, so lease reads are linearizable.
+- **Reconfiguration**: membership changes are commands in the log,
+  restricted to one added or removed member per command, so consecutive
+  configurations always have intersecting majorities.  The leader stalls
+  proposals past an in-flight configuration change (the *barrier*) so
+  every slot's quorum is evaluated under the configuration in effect for
+  that slot.
+
+Durability model: the replica object *is* the durable state (promised
+ballot, log, applied index); a host crash suppresses timers and message
+handling, and :meth:`on_host_restart` resets only volatile leadership
+state, mirroring a process that recovers its disk but forgets its role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consensus.commands import CMD_BATCH, CMD_CONFIG, Command, ConfigChange
+from repro.consensus.log import PaxosLog
+from repro.consensus.messages import (
+    Accept,
+    Accepted,
+    AcceptNack,
+    CatchupReply,
+    CatchupRequest,
+    Heartbeat,
+    HeartbeatAck,
+    InstallSnapshot,
+    NotMember,
+    Prepare,
+    PrepareNack,
+    Promise,
+    TransferLease,
+)
+from repro.consensus.single import BALLOT_ZERO, Ballot
+from repro.consensus.transport import Transport
+from repro.net.futures import Future
+
+
+class NotLeader(Exception):
+    """The contacted replica is not the group leader."""
+
+    def __init__(self, leader_hint: str | None) -> None:
+        super().__init__(f"not leader (hint: {leader_hint})")
+        self.leader_hint = leader_hint
+
+
+class ProposalLost(Exception):
+    """Leadership was lost with the proposal in flight; outcome unknown."""
+
+
+@dataclass(frozen=True)
+class PaxosConfig:
+    """Protocol timing knobs (seconds of virtual time)."""
+
+    heartbeat_interval: float = 0.25
+    election_timeout: float = 1.0
+    lease_duration: float = 0.8
+    lease_reads: bool = True
+    retry_interval: float = 0.5
+    catchup_batch: int = 200
+    # Compact the log once this many applied entries accumulate beyond
+    # the last snapshot; 0 disables compaction.
+    compact_threshold: int = 0
+    # Batch concurrently proposed app commands into one log slot: fewer
+    # Paxos rounds per operation under bursty load.  batch_window is how
+    # long the leader waits to coalesce (0 batches only same-instant
+    # proposals); batch_max caps commands per slot.
+    batch: bool = False
+    batch_window: float = 0.002
+    batch_max: int = 16
+    # Durable-write latency: an acceptor must persist its promise or
+    # accepted value before answering, so replies to Prepare and Accept
+    # are delayed by this much (models fsync; 0 = in-memory).
+    disk_write_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lease_duration >= self.election_timeout:
+            raise ValueError("lease_duration must be < election_timeout")
+        if self.heartbeat_interval >= self.lease_duration:
+            raise ValueError("heartbeat_interval must be < lease_duration")
+
+
+@dataclass
+class _PendingSlot:
+    command: Command
+    acks: set[str] = field(default_factory=set)
+
+
+class PaxosReplica:
+    """One member of a Multi-Paxos group."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        members: list[str],
+        transport: Transport,
+        apply_fn: Callable[[int, Command], Any],
+        config: PaxosConfig | None = None,
+        initial_leader: str | None = None,
+        snapshot_fn: Callable[[], Any] | None = None,
+        restore_fn: Callable[[Any], None] | None = None,
+    ) -> None:
+        # A replica whose id is not (yet) in ``members`` is a *learner*:
+        # it accepts and applies but never campaigns.  This is how a
+        # freshly joined node bootstraps — it replays the log from the
+        # group's genesis membership and becomes a voter once the config
+        # change that added it applies.
+        self.replica_id = replica_id
+        self.members = list(members)
+        self.transport = transport
+        self.apply_fn = apply_fn
+        self.snapshot_fn = snapshot_fn
+        self.restore_fn = restore_fn
+        self.config = config or PaxosConfig()
+        self._snapshot: Any = None  # latest compacted state
+
+        # Acceptor state (durable).
+        self.promised: Ballot = BALLOT_ZERO
+        self.log = PaxosLog()
+        self.applied_index = -1
+
+        # Learner / follower state.
+        self.leader_hint: str | None = initial_leader
+        self.last_leader_contact = transport.now
+        self.retired = False
+        self._last_catchup_request = -1.0
+
+        # Leader state (volatile).
+        self.is_leader = False
+        self.ballot: Ballot = BALLOT_ZERO
+        self._max_round_seen = 0
+        self._pending: dict[int, _PendingSlot] = {}
+        self._proposal_futures: dict[int, Future] = {}
+        self._queue: list[tuple[Command, Future]] = []
+        self._next_slot = 0
+        self._barrier_slot: int | None = None
+        self._read_barrier_slot: int | None = None
+        self._lease_until = -1.0
+        self._hb_acks: dict[float, set[str]] = {}
+        self.member_last_ack: dict[str, float] = {}
+
+        # Batching state (leader only).
+        self._batch_buffer: list[tuple[Command, Future]] = []
+        self._batch_flush_pending = False
+
+        # Campaign state.
+        self._campaigning = False
+        self._campaign_promises: dict[str, Promise] = {}
+        self._campaign_from_slot = 0
+        self._backlog: list[tuple[int, Command]] = []
+
+        self._start_timers(initial_leader == replica_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _start_timers(self, lead_now: bool) -> None:
+        if lead_now:
+            self.transport.set_timer(0.0, self._start_campaign)
+        self._schedule_election_check()
+
+    def on_host_restart(self) -> None:
+        """Host recovered from a crash: durable state kept, role forgotten."""
+        self._reset_leader_state(fail_with=ProposalLost("host restarted"))
+        self._campaigning = False
+        self.last_leader_contact = self.transport.now
+        self._schedule_election_check()
+
+    def _reset_leader_state(self, fail_with: Exception) -> None:
+        self.is_leader = False
+        self._barrier_slot = None
+        self._read_barrier_slot = None
+        self._lease_until = -1.0
+        self._hb_acks.clear()
+        self._backlog = []
+        for future in self._proposal_futures.values():
+            future.set_exception(fail_with)
+        self._proposal_futures.clear()
+        self._pending.clear()
+        for _command, future in self._queue:
+            future.set_exception(fail_with)
+        self._queue.clear()
+        for _command, future in self._batch_buffer:
+            future.set_exception(fail_with)
+        self._batch_buffer.clear()
+
+    def retire(self) -> None:
+        """Leave the group permanently (removed by reconfiguration)."""
+        if self.retired:
+            return
+        self.retired = True
+        self._reset_leader_state(fail_with=NotLeader(self.leader_hint))
+
+    # ------------------------------------------------------------------
+    # Public API (called by the group layer on this replica's host)
+    # ------------------------------------------------------------------
+    def propose(self, command: Command) -> Future:
+        """Replicate ``command``; resolves with the local apply result.
+
+        Fails with :class:`NotLeader` if this replica does not lead, or
+        :class:`ProposalLost` if leadership is lost while in flight (the
+        command may or may not have been chosen — callers retry with a
+        dedup key).
+        """
+        future = Future()
+        if self.retired or not self.is_leader:
+            future.set_exception(NotLeader(self.leader_hint))
+            return future
+        if self.config.batch and command.kind == "app":
+            self._batch_buffer.append((command, future))
+            if len(self._batch_buffer) >= self.config.batch_max:
+                self._flush_batch()
+            elif not self._batch_flush_pending:
+                self._batch_flush_pending = True
+                self.transport.set_timer(self.config.batch_window, self._flush_batch)
+            return future
+        # Non-batchable commands must not overtake buffered ones.
+        self._flush_batch()
+        if self._barrier_slot is not None or self._backlog:
+            self._queue.append((command, future))
+            return future
+        self._issue(command, future)
+        return future
+
+    def _flush_batch(self) -> None:
+        self._batch_flush_pending = False
+        if not self._batch_buffer:
+            return
+        buffered, self._batch_buffer = self._batch_buffer, []
+        if not self.is_leader or self.retired:
+            for _c, fut in buffered:
+                fut.set_exception(NotLeader(self.leader_hint))
+            return
+        if len(buffered) == 1:
+            command, future = buffered[0]
+        else:
+            command = Command(
+                kind=CMD_BATCH, payload=tuple(c for c, _f in buffered)
+            )
+            future = Future()
+            subs = [f for _c, f in buffered]
+
+            def distribute(f: Future) -> None:
+                if f.exception is not None:
+                    for sub in subs:
+                        sub.set_exception(f.exception)
+                    return
+                for sub, result in zip(subs, f.result()):
+                    sub.set_result(result)
+
+            future.add_callback(distribute)
+        if self._barrier_slot is not None or self._backlog:
+            self._queue.append((command, future))
+        else:
+            self._issue(command, future)
+
+    def read(self, query: Callable[[], Any]) -> Future:
+        """Linearizable read.
+
+        Under a live lease (and past the read barrier) the query runs
+        locally; otherwise it is replicated as a log entry, which gives
+        the lease-off ablation its cost.
+        """
+        future = Future()
+        if self.retired or not self.is_leader:
+            future.set_exception(NotLeader(self.leader_hint))
+            return future
+        if self.config.lease_reads and self._lease_valid():
+            future.set_result(query())
+            return future
+        read_future = self.propose(Command(kind="read", payload=query))
+        read_future.add_callback(
+            lambda f: future.set_exception(f.exception)
+            if f.exception
+            else future.set_result(f.result())
+        )
+        return future
+
+    def _lease_valid(self) -> bool:
+        if self._read_barrier_slot is None or self.applied_index < self._read_barrier_slot:
+            return False
+        return self.transport.now < self._lease_until
+
+    @property
+    def lease_active(self) -> bool:
+        return self.is_leader and self._lease_valid()
+
+
+    def transfer_leadership(self, target: str) -> bool:
+        """Hand leadership to ``target`` if this replica is idle.
+
+        Returns False (and does nothing) unless this replica leads, the
+        target is a member, and no proposals are in flight — a transfer
+        mid-stream would fail them needlessly.
+        """
+        if (
+            not self.is_leader
+            or self.retired
+            or target == self.replica_id
+            or target not in self.members
+            or self._pending
+            or self._queue
+            or self._backlog
+            or self._barrier_slot is not None
+        ):
+            return False
+        msg = TransferLease(ballot=self.ballot, target=target)
+        for member in self.members:
+            if member != self.replica_id:
+                self.transport.send(member, msg)
+        self.leader_hint = target
+        self._reset_leader_state(fail_with=NotLeader(target))
+        self.last_leader_contact = self.transport.now
+        return True
+
+    def _on_transfer_lease(self, src: str, msg: TransferLease) -> None:
+        if msg.ballot < self.promised or src == self.replica_id:
+            return
+        self.leader_hint = msg.target
+        self.last_leader_contact = self.transport.now
+        if msg.target == self.replica_id and not self.is_leader:
+            self.transport.set_timer(0.0, self._start_campaign)
+
+    def suspected_members(self, dead_after: float) -> list[str]:
+        """Members the leader has not heard from for ``dead_after`` seconds."""
+        if not self.is_leader:
+            return []
+        now = self.transport.now
+        out = []
+        for member in self.members:
+            if member == self.replica_id:
+                continue
+            last = self.member_last_ack.get(member, self.last_leader_contact)
+            if now - last > dead_after:
+                out.append(member)
+        return out
+
+    # ------------------------------------------------------------------
+    # Message entry point
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, msg: Any) -> None:
+        if self.retired:
+            return
+        handler = self._HANDLERS.get(type(msg))
+        if handler is not None:
+            handler(self, src, msg)
+
+    def _note_ballot(self, ballot: Ballot) -> None:
+        if ballot[0] > self._max_round_seen:
+            self._max_round_seen = ballot[0]
+
+    # ------------------------------------------------------------------
+    # Election
+    # ------------------------------------------------------------------
+    def _schedule_election_check(self) -> None:
+        jitter = self.transport.rng().uniform(1.0, 2.0)
+        self.transport.set_timer(self.config.election_timeout * jitter, self._election_check)
+
+    def _election_check(self) -> None:
+        if self.retired:
+            return
+        idle = self.transport.now - self.last_leader_contact
+        if not self.is_leader and not self._campaigning and idle >= self.config.election_timeout:
+            self._start_campaign()
+        self._schedule_election_check()
+
+    def _start_campaign(self) -> None:
+        if self.retired or self.replica_id not in self.members:
+            return
+        self._campaigning = True
+        self._campaign_promises = {}
+        round_num = max(self._max_round_seen, self.promised[0], self.ballot[0]) + 1
+        self.ballot = (round_num, self.replica_id)
+        self._note_ballot(self.ballot)
+        self._campaign_from_slot = self.log.commit_index + 1
+        prepare = Prepare(ballot=self.ballot, from_slot=self._campaign_from_slot)
+        for member in self.members:
+            self.transport.send(member, prepare)
+        # If the campaign stalls (lost messages, no quorum) the election
+        # check will eventually fire again and start a fresh ballot.
+        self.transport.set_timer(self.config.election_timeout, self._campaign_timeout, self.ballot)
+
+    def _campaign_timeout(self, ballot: Ballot) -> None:
+        if self._campaigning and self.ballot == ballot and not self.is_leader:
+            self._campaigning = False
+
+    def _on_prepare(self, src: str, msg: Prepare) -> None:
+        self._note_ballot(msg.ballot)
+        if src not in self.members:
+            # Either src was removed, or we are lagging.  Config changes
+            # are single-member and never re-add within a group, so an
+            # applied config excluding src is authoritative.
+            self.transport.send(src, NotMember(commit_index=self.log.commit_index))
+            return
+        # Lease guard: refuse to abandon a leader whose lease is live.
+        lease_live = (
+            self.leader_hint is not None
+            and src != self.leader_hint
+            and self.transport.now < self.last_leader_contact + self.config.lease_duration
+        )
+        if lease_live:
+            self.transport.send(
+                src, PrepareNack(msg.ballot, self.promised, lease_holder=self.leader_hint)
+            )
+            return
+        if msg.ballot <= self.promised:
+            self.transport.send(src, PrepareNack(msg.ballot, self.promised))
+            return
+        self.promised = msg.ballot
+        accepted = tuple(self.log.accepted_from(msg.from_slot))
+        reply = Promise(
+            ballot=msg.ballot,
+            from_slot=msg.from_slot,
+            accepted=accepted,
+            commit_index=self.log.commit_index,
+        )
+        self._send_durable(src, reply)
+
+    def _on_promise(self, src: str, msg: Promise) -> None:
+        if not self._campaigning or msg.ballot != self.ballot:
+            return
+        self._campaign_promises[src] = msg
+        if len(self._campaign_promises) < self._majority():
+            return
+        self._campaigning = False
+        self._become_leader()
+
+    def _on_prepare_nack(self, src: str, msg: PrepareNack) -> None:
+        self._note_ballot(msg.promised)
+        if msg.ballot != self.ballot or not self._campaigning:
+            return
+        self._campaigning = False
+        if msg.lease_holder is not None:
+            # Defer to the live lease: treat it as leader contact so the
+            # election check backs off for a full timeout.
+            self.last_leader_contact = self.transport.now
+            self.leader_hint = msg.lease_holder
+
+    def _majority(self) -> int:
+        return len(self.members) // 2 + 1
+
+    def _become_leader(self) -> None:
+        # If any promiser committed beyond us, we are missing chosen
+        # entries (possibly compacted away elsewhere): leading now could
+        # re-propose no-ops over chosen slots.  Learn first, lead later.
+        best_commit = self.log.commit_index
+        best_peer: str | None = None
+        for peer, promise in self._campaign_promises.items():
+            if promise.commit_index > best_commit:
+                best_commit = promise.commit_index
+                best_peer = peer
+        if best_peer is not None:
+            self._request_catchup(best_peer)
+            return  # the election check will retry once caught up
+        self.is_leader = True
+        self.leader_hint = self.replica_id
+        self._pending.clear()
+        self._hb_acks.clear()
+        self.member_last_ack = {m: self.transport.now for m in self.members}
+        # Merge accepted suffixes from promises: highest ballot wins per slot.
+        best: dict[int, tuple[Ballot, Command]] = {}
+        max_slot = self.log.commit_index
+        for promise in self._campaign_promises.values():
+            for slot, ballot, command in promise.accepted:
+                max_slot = max(max_slot, slot)
+                if slot not in best or ballot > best[slot][0]:
+                    best[slot] = (ballot, command)
+        backlog: list[tuple[int, Command]] = []
+        for slot in range(self._campaign_from_slot, max_slot + 1):
+            if self.log.is_chosen(slot):
+                continue
+            command = best[slot][1] if slot in best else Command.noop()
+            backlog.append((slot, command))
+        self._backlog = backlog
+        self._next_slot = max_slot + 1
+        self._drain_backlog()
+        if self._barrier_slot is None and not self._backlog:
+            self._propose_read_barrier()
+        self._heartbeat_tick(self.ballot)
+        self._retry_tick(self.ballot)
+
+    def _propose_read_barrier(self) -> None:
+        slot = self._next_slot
+        self._next_slot += 1
+        self._read_barrier_slot = slot
+        self._send_accepts(slot, Command.noop())
+
+    # ------------------------------------------------------------------
+    # Proposal plumbing (leader)
+    # ------------------------------------------------------------------
+    def _issue(self, command: Command, future: Future) -> None:
+        slot = self._next_slot
+        self._next_slot += 1
+        self._proposal_futures[slot] = future
+        if command.kind == CMD_CONFIG:
+            self._barrier_slot = slot
+        self._send_accepts(slot, command)
+
+    def _drain_backlog(self) -> None:
+        """Re-propose recovered entries in order, stalling at config changes."""
+        while self._backlog and self._barrier_slot is None:
+            slot, command = self._backlog.pop(0)
+            if command.kind == CMD_CONFIG:
+                self._barrier_slot = slot
+            self._send_accepts(slot, command)
+
+    def _flush_queue(self) -> None:
+        while self._queue and self._barrier_slot is None and not self._backlog:
+            command, future = self._queue.pop(0)
+            self._issue(command, future)
+
+    def _send_accepts(self, slot: int, command: Command) -> None:
+        self._pending[slot] = _PendingSlot(command=command)
+        msg = Accept(
+            ballot=self.ballot, slot=slot, command=command, commit_index=self.log.commit_index
+        )
+        for member in self.members:
+            self.transport.send(member, msg)
+
+    def _on_accept(self, src: str, msg: Accept) -> None:
+        self._note_ballot(msg.ballot)
+        if msg.ballot < self.promised:
+            self.transport.send(src, AcceptNack(msg.ballot, msg.slot, self.promised))
+            return
+        if msg.ballot > self.promised or src != self.replica_id:
+            self._observe_other_leader(src, msg.ballot)
+        self.promised = msg.ballot
+        if msg.slot < self.log.first_slot:
+            # Late retransmission for a slot we already compacted: it is
+            # chosen and applied here, so just acknowledge.
+            self.transport.send(src, Accepted(msg.ballot, msg.slot))
+            self._learn_commit_index(src, msg.ballot, msg.commit_index)
+            return
+        entry = self.log.entry(msg.slot)
+        if not entry.chosen:
+            entry.accepted_ballot = msg.ballot
+            entry.accepted_value = msg.command
+        self._send_durable(src, Accepted(msg.ballot, msg.slot))
+        self._learn_commit_index(src, msg.ballot, msg.commit_index)
+
+    def _send_durable(self, dst: str, msg: Any) -> None:
+        """Send after the modelled durable write completes."""
+        disk = self.config.disk_write_latency
+        if disk <= 0:
+            self.transport.send(dst, msg)
+        else:
+            self.transport.set_timer(disk, self.transport.send, dst, msg)
+
+    def _observe_other_leader(self, src: str, ballot: Ballot) -> None:
+        """A higher-or-equal ballot from another node means we follow it."""
+        if src == self.replica_id:
+            return
+        if self.is_leader and ballot > self.ballot:
+            self._reset_leader_state(fail_with=ProposalLost(f"superseded by {src}"))
+        if ballot >= self.promised:
+            self.leader_hint = src
+            self.last_leader_contact = self.transport.now
+
+    def _on_accepted(self, src: str, msg: Accepted) -> None:
+        if not self.is_leader or msg.ballot != self.ballot:
+            return
+        self.member_last_ack[src] = self.transport.now
+        pending = self._pending.get(msg.slot)
+        if pending is None or src not in self.members:
+            return
+        pending.acks.add(src)
+        if len(pending.acks) >= self._majority():
+            del self._pending[msg.slot]
+            self.log.mark_chosen(msg.slot, pending.command)
+            self._apply_committed()
+            if self._barrier_slot == msg.slot:
+                pass  # cleared in _apply_committed once the config applies
+            self._drain_backlog()
+            self._after_commit_progress()
+
+    def _after_commit_progress(self) -> None:
+        if not self.is_leader:
+            return
+        if self._barrier_slot is None and not self._backlog:
+            if self._read_barrier_slot is None:
+                self._propose_read_barrier()
+            self._flush_queue()
+
+    def _on_accept_nack(self, src: str, msg: AcceptNack) -> None:
+        self._note_ballot(msg.promised)
+        if self.is_leader and msg.promised > self.ballot:
+            self._reset_leader_state(fail_with=ProposalLost(f"preempted by {msg.promised}"))
+            self.last_leader_contact = self.transport.now
+
+    # ------------------------------------------------------------------
+    # Heartbeats, leases, commit propagation
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self, ballot: Ballot) -> None:
+        if not self.is_leader or self.ballot != ballot or self.retired:
+            return
+        now = self.transport.now
+        # The leader is its own lease grantor: refreshing its contact time
+        # makes its local acceptor reject foreign Prepares while it is
+        # actively heartbeating, like every other member does.
+        self.last_leader_contact = now
+        self._hb_acks[now] = {self.replica_id}
+        if len(self._hb_acks) > 64:
+            for stale in sorted(self._hb_acks)[:-64]:
+                del self._hb_acks[stale]
+        hb = Heartbeat(ballot=self.ballot, commit_index=self.log.commit_index, send_time=now)
+        for member in self.members:
+            if member != self.replica_id:
+                self.transport.send(member, hb)
+        if len(self.members) == 1:
+            self._lease_until = now + self.config.lease_duration
+        self.transport.set_timer(self.config.heartbeat_interval, self._heartbeat_tick, ballot)
+
+    def _on_heartbeat(self, src: str, msg: Heartbeat) -> None:
+        self._note_ballot(msg.ballot)
+        if msg.ballot < self.promised:
+            return
+        self._observe_other_leader(src, msg.ballot)
+        self.promised = max(self.promised, msg.ballot)
+        self.transport.send(
+            src,
+            HeartbeatAck(ballot=msg.ballot, send_time=msg.send_time, applied_index=self.applied_index),
+        )
+        self._learn_commit_index(src, msg.ballot, msg.commit_index)
+
+    def _on_heartbeat_ack(self, src: str, msg: HeartbeatAck) -> None:
+        if not self.is_leader or msg.ballot != self.ballot:
+            return
+        self.member_last_ack[src] = self.transport.now
+        acks = self._hb_acks.get(msg.send_time)
+        if acks is None:
+            return
+        acks.add(src)
+        if len(acks) >= self._majority():
+            lease_until = msg.send_time + self.config.lease_duration
+            if lease_until > self._lease_until:
+                self._lease_until = lease_until
+
+    def _retry_tick(self, ballot: Ballot) -> None:
+        """Retransmit Accepts for slots that have not reached a quorum."""
+        if not self.is_leader or self.ballot != ballot or self.retired:
+            return
+        for slot, pending in sorted(self._pending.items()):
+            msg = Accept(
+                ballot=self.ballot,
+                slot=slot,
+                command=pending.command,
+                commit_index=self.log.commit_index,
+            )
+            for member in self.members:
+                if member not in pending.acks:
+                    self.transport.send(member, msg)
+        self.transport.set_timer(self.config.retry_interval, self._retry_tick, ballot)
+
+    # ------------------------------------------------------------------
+    # Learning and catch-up
+    # ------------------------------------------------------------------
+    def _learn_commit_index(self, src: str, src_ballot: Ballot, commit_index: int) -> None:
+        """Absorb a peer's commit index; catch up on slots we lack."""
+        if commit_index <= self.log.commit_index:
+            return
+        need_catchup = False
+        for slot in range(self.log.commit_index + 1, commit_index + 1):
+            entry = self.log.get(slot)
+            if entry is not None and entry.chosen:
+                continue
+            if entry is not None and entry.accepted_ballot == src_ballot:
+                # Our accepted value at the leader's ballot is the chosen one.
+                self.log.mark_chosen(slot, entry.accepted_value)
+            else:
+                need_catchup = True
+                break
+        self._apply_committed()
+        if need_catchup:
+            self._request_catchup(src)
+
+    def _request_catchup(self, src: str) -> None:
+        now = self.transport.now
+        if now - self._last_catchup_request < self.config.heartbeat_interval:
+            return
+        self._last_catchup_request = now
+        self.transport.send(src, CatchupRequest(from_slot=self.log.commit_index + 1))
+
+    def _on_not_member(self, src: str, msg: NotMember) -> None:
+        self.retire()
+
+    def _on_catchup_request(self, src: str, msg: CatchupRequest) -> None:
+        if msg.from_slot < self.log.first_slot:
+            # The requested prefix was compacted: ship our snapshot.
+            if self.snapshot_fn is not None:
+                self.transport.send(
+                    src,
+                    InstallSnapshot(
+                        snapshot=self.snapshot_fn(),
+                        last_included=self.applied_index,
+                        members=tuple(self.members),
+                        commit_index=self.log.commit_index,
+                    ),
+                )
+            return
+        to_slot = min(msg.from_slot + self.config.catchup_batch - 1, self.log.commit_index)
+        entries = tuple(
+            (slot, value) for slot, value in self.log.chosen_range(msg.from_slot, to_slot)
+        )
+        self.transport.send(src, CatchupReply(entries=entries, commit_index=self.log.commit_index))
+
+    def _on_install_snapshot(self, src: str, msg: InstallSnapshot) -> None:
+        if msg.last_included <= self.applied_index or self.restore_fn is None:
+            return
+        self.restore_fn(msg.snapshot)
+        self.applied_index = msg.last_included
+        self.members = list(msg.members)
+        self.log.reset_to(msg.last_included + 1)
+        # The jump may have exposed already-chosen retained entries.
+        self._apply_committed()
+        if msg.commit_index > self.log.commit_index:
+            self._request_catchup(src)
+
+    def _maybe_compact(self) -> None:
+        threshold = self.config.compact_threshold
+        if threshold <= 0 or self.snapshot_fn is None:
+            return
+        if self.applied_index - self.log.first_slot + 1 < threshold:
+            return
+        self._snapshot = self.snapshot_fn()
+        self.log.truncate_before(self.applied_index + 1)
+
+    def _on_catchup_reply(self, src: str, msg: CatchupReply) -> None:
+        for slot, command in msg.entries:
+            self.log.mark_chosen(slot, command)
+        self._apply_committed()
+        if msg.commit_index > self.log.commit_index:
+            self._request_catchup(src)
+
+    # ------------------------------------------------------------------
+    # Apply
+    # ------------------------------------------------------------------
+    def _apply_committed(self) -> None:
+        while self.applied_index < self.log.commit_index:
+            slot = self.applied_index + 1
+            command = self.log.chosen_value(slot)
+            # Pop the waiter first: applying a "remove self" config change
+            # retires the replica, which fails any still-registered futures.
+            future = self._proposal_futures.pop(slot, None)
+            if command.kind == CMD_CONFIG:
+                self._apply_config(command.payload)
+            if command.kind == CMD_BATCH:
+                result = [self.apply_fn(slot, sub) for sub in command.payload]
+            else:
+                result = self.apply_fn(slot, command)
+            self.applied_index = slot
+            if future is not None:
+                future.set_result(result)
+            if self._barrier_slot == slot:
+                self._barrier_slot = None
+        self._maybe_compact()
+        self._after_commit_progress()
+
+    def _apply_config(self, change: ConfigChange) -> None:
+        if change.action == "add":
+            if change.member not in self.members:
+                self.members.append(change.member)
+                if self.is_leader:
+                    self.member_last_ack.setdefault(change.member, self.transport.now)
+        else:
+            if change.member in self.members:
+                self.members.remove(change.member)
+            self.member_last_ack.pop(change.member, None)
+            if change.member == self.replica_id:
+                self.retire()
+            elif self.is_leader:
+                self.transport.send(
+                    change.member, NotMember(commit_index=self.log.commit_index)
+                )
+
+    _HANDLERS: dict[type, Callable[["PaxosReplica", str, Any], None]] = {}
+
+
+PaxosReplica._HANDLERS = {
+    Prepare: PaxosReplica._on_prepare,
+    Promise: PaxosReplica._on_promise,
+    PrepareNack: PaxosReplica._on_prepare_nack,
+    Accept: PaxosReplica._on_accept,
+    Accepted: PaxosReplica._on_accepted,
+    AcceptNack: PaxosReplica._on_accept_nack,
+    Heartbeat: PaxosReplica._on_heartbeat,
+    HeartbeatAck: PaxosReplica._on_heartbeat_ack,
+    NotMember: PaxosReplica._on_not_member,
+    TransferLease: PaxosReplica._on_transfer_lease,
+    CatchupRequest: PaxosReplica._on_catchup_request,
+    InstallSnapshot: PaxosReplica._on_install_snapshot,
+    CatchupReply: PaxosReplica._on_catchup_reply,
+}

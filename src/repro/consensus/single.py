@@ -1,0 +1,117 @@
+"""Pure single-decree Paxos roles.
+
+These classes hold the core safety logic with no I/O, timers, or
+networking, so the safety argument can be exercised exhaustively by
+property-based tests (see ``tests/test_paxos_properties.py``).  The
+Multi-Paxos replica embeds the same acceptor rules per log slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+# A ballot totally orders proposal attempts; the node id breaks ties so two
+# nodes can never issue the same ballot.
+Ballot = tuple[int, str]
+
+BALLOT_ZERO: Ballot = (0, "")
+
+
+@dataclass
+class PromiseReply:
+    ok: bool
+    promised: Ballot
+    accepted_ballot: Ballot | None = None
+    accepted_value: Any = None
+
+
+@dataclass
+class AcceptReply:
+    ok: bool
+    promised: Ballot
+
+
+class Acceptor:
+    """Single-decree Paxos acceptor: the keeper of safety."""
+
+    def __init__(self) -> None:
+        self.promised: Ballot = BALLOT_ZERO
+        self.accepted_ballot: Ballot | None = None
+        self.accepted_value: Any = None
+
+    def on_prepare(self, ballot: Ballot) -> PromiseReply:
+        """Phase 1b: promise iff ballot is the highest seen."""
+        if ballot <= self.promised:
+            return PromiseReply(ok=False, promised=self.promised)
+        self.promised = ballot
+        return PromiseReply(
+            ok=True,
+            promised=ballot,
+            accepted_ballot=self.accepted_ballot,
+            accepted_value=self.accepted_value,
+        )
+
+    def on_accept(self, ballot: Ballot, value: Any) -> AcceptReply:
+        """Phase 2b: accept iff no higher promise has been made since."""
+        if ballot < self.promised:
+            return AcceptReply(ok=False, promised=self.promised)
+        self.promised = ballot
+        self.accepted_ballot = ballot
+        self.accepted_value = value
+        return AcceptReply(ok=True, promised=ballot)
+
+
+class Proposer:
+    """Single-decree Paxos proposer driving one ballot.
+
+    The caller feeds in replies; the proposer says what to do next.  This
+    keeps it synchronous and directly checkable.
+    """
+
+    def __init__(self, ballot: Ballot, quorum_size: int, value: Any) -> None:
+        if quorum_size < 1:
+            raise ValueError("quorum_size must be >= 1")
+        self.ballot = ballot
+        self.quorum_size = quorum_size
+        self.value = value  # the value we want; may be overridden by phase 1
+        self.chosen_value: Any = None
+        self._promises: dict[str, PromiseReply] = {}
+        self._accepts: set[str] = set()
+        self._phase2_value: Any = None
+        self.phase = 1
+
+    def on_promise(self, acceptor_id: str, reply: PromiseReply) -> bool:
+        """Record a phase-1b reply.  Returns True when phase 2 may start."""
+        if self.phase != 1 or not reply.ok:
+            return False
+        self._promises[acceptor_id] = reply
+        if len(self._promises) < self.quorum_size:
+            return False
+        # Adopt the highest-ballot accepted value among promises, if any.
+        best: PromiseReply | None = None
+        for promise in self._promises.values():
+            if promise.accepted_ballot is None:
+                continue
+            if best is None or promise.accepted_ballot > best.accepted_ballot:
+                best = promise
+        self._phase2_value = self.value if best is None else best.accepted_value
+        self.phase = 2
+        return True
+
+    @property
+    def phase2_value(self) -> Any:
+        if self.phase < 2:
+            raise RuntimeError("phase 1 not complete")
+        return self._phase2_value
+
+    def on_accepted(self, acceptor_id: str, reply: AcceptReply) -> bool:
+        """Record a phase-2b reply.  Returns True when the value is chosen."""
+        if self.phase != 2 or not reply.ok or reply.promised != self.ballot:
+            return False
+        self._accepts.add(acceptor_id)
+        if len(self._accepts) >= self.quorum_size:
+            self.chosen_value = self._phase2_value
+            self.phase = 3
+            return True
+        return False

@@ -1,0 +1,31 @@
+"""Transport abstraction decoupling Paxos from message framing.
+
+A physical Scatter node may host several Paxos replicas at once (briefly,
+during group reconfigurations), so replicas do not own a network address.
+Instead the host hands each replica a :class:`Transport` that tags and
+routes its messages; the standalone test harness uses a trivial one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Protocol
+
+from repro.sim.events import EventHandle
+
+
+class Transport(Protocol):
+    """What a Paxos replica needs from its host."""
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+
+    def send(self, dst: str, msg: Any) -> None:
+        """Best-effort one-way message to peer replica ``dst``."""
+
+    def set_timer(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule a callback, suppressed if the host crashes."""
+
+    def rng(self) -> random.Random:
+        """Deterministic randomness (election jitter)."""

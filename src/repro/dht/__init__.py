@@ -1,0 +1,11 @@
+"""The Scatter overlay: a ring of Paxos groups.
+
+- :mod:`repro.dht.ring` — circular key space, ranges with wraparound,
+  and key hashing.
+- :mod:`repro.dht.scatter` — the system builder and physical node type.
+- :mod:`repro.dht.client` — client routing (get/put with retries).
+"""
+
+from repro.dht.ring import KEY_SPACE, KeyRange, hash_key, ring_distance
+
+__all__ = ["KEY_SPACE", "KeyRange", "hash_key", "ring_distance"]

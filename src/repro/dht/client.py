@@ -1,0 +1,225 @@
+"""Client-side routing for Scatter: iterative lookup with retries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dht.messages import ClientOpReq
+from repro.dht.ring import hash_key, ring_distance
+from repro.group.info import GroupInfo
+from repro.net.futures import Future, RpcError, RpcTimeout, spawn
+from repro.net.node import Node
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+from repro.store.kvstore import KvOp, KvResult, OP_CAS, OP_DELETE, OP_GET, OP_PUT
+
+
+@dataclass
+class ClientConfig:
+    rpc_timeout: float = 0.5
+    op_timeout: float = 8.0
+    busy_backoff: float = 0.25
+    max_hops: int = 32
+    cache_size: int = 128
+    # "iterative": the client follows redirects itself (default).
+    # "recursive": nodes forward on the client's behalf (app-on-overlay
+    # deployments); recursion depth per request below.
+    routing: str = "iterative"
+    recursive_ttl: int = 8
+
+    def __post_init__(self) -> None:
+        if self.routing not in ("iterative", "recursive"):
+            raise ValueError(f"bad routing mode {self.routing}")
+
+
+@dataclass
+class OpRecord:
+    """One completed (or failed) client operation, for analysis."""
+
+    op: str
+    key: int
+    value: object
+    invoke_time: float
+    response_time: float = -1.0
+    result: KvResult | None = None
+    hops: int = 0
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None and self.result.ok
+
+    @property
+    def completed(self) -> bool:
+        return self.response_time >= 0 and self.result is not None and self.result.error != "timeout"
+
+    @property
+    def latency(self) -> float:
+        return self.response_time - self.invoke_time
+
+
+class ScatterClient(Node):
+    """Issues linearizable get/put/delete/cas against the overlay.
+
+    Routing is iterative: the client asks the best node it knows of,
+    follows ``not_leader`` / ``moved`` / ``redirect`` replies, and backs
+    off on ``busy``.  Mutations carry a (client, seq) dedup token so
+    retries are exactly-once.  ``seed_provider`` stands in for the
+    out-of-band bootstrap every DHT assumes (a well-known node list).
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        sim: Simulator,
+        net: SimNetwork,
+        seed_provider: Callable[[], list[str]],
+        config: ClientConfig | None = None,
+    ) -> None:
+        super().__init__(client_id, sim, net)
+        self.seed_provider = seed_provider
+        self.config = config or ClientConfig()
+        self.cache: dict[str, GroupInfo] = {}
+        self.records: list[OpRecord] = []
+        self._seq = 0
+        self._rng = sim.rng(f"client:{client_id}")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get(self, key: str | int) -> Future:
+        return self._run(KvOp(OP_GET, self._key(key)))
+
+    def put(self, key: str | int, value: object) -> Future:
+        return self._run(KvOp(OP_PUT, self._key(key), value))
+
+    def delete(self, key: str | int) -> Future:
+        return self._run(KvOp(OP_DELETE, self._key(key)))
+
+    def cas(self, key: str | int, value: object, expected_version: int) -> Future:
+        return self._run(KvOp(OP_CAS, self._key(key), value, expected_version))
+
+    @staticmethod
+    def _key(key: str | int) -> int:
+        return hash_key(key) if isinstance(key, str) else key
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _run(self, op: KvOp) -> Future:
+        self._seq += 1
+        dedup = (self.node_id, self._seq)
+        record = OpRecord(op=op.op, key=op.key, value=op.value, invoke_time=self.sim.now)
+        self.records.append(record)
+        return spawn(self.sim, self._op_proc(op, dedup, record))
+
+    def _op_proc(self, op: KvOp, dedup, record: OpRecord):
+        deadline = self.sim.now + self.config.op_timeout
+        info = self._best_info(op.key)
+        target = info.leader_hint if info is not None else self._seed()
+        backups: list[str] = list(info.members) if info is not None else []
+        visits: dict[str, int] = {}
+        while self.sim.now < deadline and record.hops < self.config.max_hops:
+            if target is None:
+                target = self._seed()
+                if target is None:
+                    break
+            if visits.get(target, 0) >= 3:
+                # Two nodes pointing at each other with stale views can
+                # livelock an op; cap per-node visits and fall back to
+                # untried members / fresh seeds.
+                target = self._next_target(backups, exclude=target)
+                if target is None or visits.get(target, 0) >= 3:
+                    target = self._seed()
+                    yield _sleep(self.sim, self.config.busy_backoff)
+                continue
+            visits[target] = visits.get(target, 0) + 1
+            record.attempts += 1
+            ttl = self.config.recursive_ttl if self.config.routing == "recursive" else 0
+            timeout = self.config.rpc_timeout * (1 + ttl)
+            try:
+                resp = yield self.request(
+                    target, ClientOpReq(op=op, dedup=dedup, ttl=ttl), timeout=timeout
+                )
+            except (RpcTimeout, RpcError):
+                target = self._next_target(backups, exclude=target)
+                continue
+            record.hops += 1
+            for group in resp.groups:
+                self._learn(group)
+            if resp.status == "ok":
+                record.response_time = self.sim.now
+                record.result = resp.result
+                return resp.result
+            if resp.status == "not_leader":
+                target = resp.leader_hint or self._next_target(backups, exclude=target)
+                continue
+            if resp.status in ("moved", "redirect"):
+                nxt = self._closest(resp.groups, op.key) or self._best_info(op.key)
+                if nxt is not None:
+                    asked = target
+                    target, backups = nxt.leader_hint, list(nxt.members)
+                    if target == asked:
+                        # The responder redirected us back to itself:
+                        # stale knowledge somewhere.  Try another member,
+                        # and pause so fresher state can propagate.
+                        target = self._next_target(backups, exclude=asked)
+                        yield _sleep(self.sim, self.config.busy_backoff)
+                else:
+                    target = self._seed()
+                continue
+            if resp.status == "busy":
+                yield _sleep(self.sim, self.config.busy_backoff * self._rng.uniform(0.5, 1.5))
+                refreshed = self._best_info(op.key)
+                if refreshed is not None:
+                    target, backups = refreshed.leader_hint, list(refreshed.members)
+                continue
+            # "lost": this node knows nothing useful; re-seed.
+            target = self._seed()
+        record.response_time = self.sim.now
+        record.result = KvResult(ok=False, error="timeout")
+        return record.result
+
+    def _next_target(self, backups: list[str], exclude: str | None) -> str | None:
+        while backups:
+            candidate = backups.pop(0)
+            if candidate != exclude:
+                return candidate
+        return self._seed()
+
+    def _seed(self) -> str | None:
+        seeds = self.seed_provider()
+        if not seeds:
+            return None
+        return self._rng.choice(seeds)
+
+    def _learn(self, info: GroupInfo) -> None:
+        cached = self.cache.get(info.gid)
+        if cached is not None and cached.epoch > info.epoch:
+            return  # keep the fresher view
+        if cached is None and len(self.cache) >= self.config.cache_size:
+            self.cache.pop(next(iter(self.cache)))
+        self.cache[info.gid] = info
+
+    def _best_info(self, key: int) -> GroupInfo | None:
+        containing = [g for g in self.cache.values() if g.range.contains(key)]
+        if containing:
+            return containing[0]
+        if not self.cache:
+            return None
+        return min(self.cache.values(), key=lambda g: ring_distance(g.range.lo, key))
+
+    def _closest(self, groups: tuple[GroupInfo, ...], key: int) -> GroupInfo | None:
+        if not groups:
+            return None
+        containing = [g for g in groups if g.range.contains(key)]
+        if containing:
+            return containing[0]
+        return min(groups, key=lambda g: ring_distance(g.range.lo, key))
+
+
+def _sleep(sim: Simulator, delay: float) -> Future:
+    future = Future()
+    sim.schedule(delay, future.set_result, None)
+    return future

@@ -1,0 +1,167 @@
+"""Messages exchanged between Scatter nodes (above the Paxos layer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.group.info import GroupGenesis, GroupInfo
+from repro.store.kvstore import KvOp, KvResult
+from repro.txn.spec import TxnSpec
+
+
+@dataclass(frozen=True)
+class GroupMsg:
+    """Frames a Paxos message with its group id so hosts can demux."""
+
+    gid: str
+    inner: Any
+
+
+@dataclass(frozen=True)
+class ClientOpReq:
+    """A storage operation sent by a client to some node.
+
+    ``ttl > 0`` selects *recursive* routing: a node that does not own the
+    key forwards the request itself (decrementing ttl) instead of
+    redirecting the client — the mode used when the application runs on
+    the overlay nodes, as the paper's Chirp deployment did.
+    """
+
+    op: KvOp
+    dedup: tuple[str, int] | None = None
+    ttl: int = 0
+
+
+@dataclass(frozen=True)
+class ClientOpResp:
+    """Reply to a client operation.
+
+    ``status`` is one of:
+
+    - ``ok`` — ``result`` holds the outcome.
+    - ``not_leader`` — retry at ``leader_hint`` (same group).
+    - ``moved`` — the owning group was replaced; ``groups`` holds its
+      successors (from the retired group's forwarding pointers).
+    - ``busy`` — the group is locked by a group operation; back off.
+    - ``redirect`` — this node does not own the key; ``groups`` holds
+      the best next hops it knows.
+    - ``lost`` — this node knows of no route (rare; client re-seeds).
+    """
+
+    status: str
+    result: KvResult | None = None
+    leader_hint: str | None = None
+    groups: tuple[GroupInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class JoinLookupReq:
+    """A joining node asks a seed where to join."""
+
+
+@dataclass(frozen=True)
+class JoinLookupResp:
+    target: GroupInfo | None
+
+
+@dataclass(frozen=True)
+class GroupJoinReq:
+    """Ask a group's leader to add the sender as a member."""
+
+    gid: str
+
+
+@dataclass(frozen=True)
+class GroupJoinResp:
+    """``status``: ok | not_leader | busy | unknown_group | moved."""
+
+    status: str
+    genesis: GroupGenesis | None = None
+    leader_hint: str | None = None
+    groups: tuple[GroupInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class GroupLeaveReq:
+    """Graceful departure: ask the leader to remove the sender."""
+
+    gid: str
+
+
+@dataclass(frozen=True)
+class WelcomeMsg:
+    """Shipped to a node added by migration so it can host the group."""
+
+    genesis: GroupGenesis
+
+
+@dataclass(frozen=True)
+class TxnPrepareReq:
+    gid: str
+    spec: TxnSpec
+
+
+@dataclass(frozen=True)
+class TxnCommitReq:
+    gid: str
+    spec: TxnSpec
+    data: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TxnAbortReq:
+    gid: str
+    spec: TxnSpec
+
+
+@dataclass(frozen=True)
+class TxnResp:
+    """status: prepared | refused | committed | aborted | dup | ignored |
+    not_leader | unknown_group."""
+
+    status: str
+    data: Any = None
+    leader_hint: str | None = None
+
+
+@dataclass(frozen=True)
+class TxnStatusReq:
+    spec: TxnSpec
+
+
+@dataclass(frozen=True)
+class TxnStatusResp:
+    """status: committed | aborted | unknown."""
+
+    status: str
+    data: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GroupNeighborsReq:
+    """Ask a group's leader for its fresh info and adjacency pointers."""
+
+    gid: str
+
+
+@dataclass(frozen=True)
+class GroupNeighborsResp:
+    """status: ok | not_leader | unknown_group | moved."""
+
+    status: str
+    info: GroupInfo | None = None
+    predecessor: GroupInfo | None = None
+    successor: GroupInfo | None = None
+    leader_hint: str | None = None
+    groups: tuple[GroupInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class GossipReq:
+    """Ask a peer for a sample of its routing knowledge."""
+
+
+@dataclass(frozen=True)
+class GossipResp:
+    infos: tuple[GroupInfo, ...]

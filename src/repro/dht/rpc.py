@@ -1,0 +1,52 @@
+"""Generator helpers for talking to a group (leader discovery, retries)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.group.info import GroupInfo
+from repro.net.futures import RpcError, RpcTimeout
+from repro.net.node import Node
+
+
+class GroupUnreachable(Exception):
+    """No member of the target group produced a usable response."""
+
+
+def group_request(
+    node: Node,
+    info: GroupInfo,
+    make_msg: Callable[[], Any],
+    timeout: float,
+    max_attempts: int = 6,
+):
+    """Generator: RPC a group's leader, following hints and failures.
+
+    Tries the cached ``leader_hint`` first, then other members.  A
+    response whose ``status`` is ``not_leader`` redirects to the carried
+    hint.  Yields futures (for use under ``spawn``); returns the first
+    substantive response.  Raises :class:`GroupUnreachable` when every
+    attempt times out or errors.
+    """
+    ordered = [info.leader_hint] + [m for m in info.members if m != info.leader_hint]
+    queue = list(dict.fromkeys(ordered))
+    tried: set[str] = set()
+    attempts = 0
+    while queue and attempts < max_attempts:
+        dst = queue.pop(0)
+        if dst in tried:
+            continue
+        tried.add(dst)
+        attempts += 1
+        try:
+            resp = yield node.request(dst, make_msg(), timeout=timeout)
+        except (RpcTimeout, RpcError):
+            continue
+        status = getattr(resp, "status", None)
+        hint = getattr(resp, "leader_hint", None)
+        if status == "not_leader":
+            if hint is not None and hint not in tried:
+                queue.insert(0, hint)
+            continue
+        return resp
+    raise GroupUnreachable(f"group {info.gid} unreachable after {attempts} attempts")

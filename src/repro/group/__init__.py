@@ -1,0 +1,16 @@
+"""Scatter groups: Paxos-replicated shards of the key space.
+
+A *group* is the unit of the Scatter overlay: a set of nodes running one
+Multi-Paxos instance that owns a contiguous arc of the ring, stores the
+keys in it, and keeps authoritative pointers to its predecessor and
+successor groups.  :class:`GroupReplica` is one node's share of one
+group; it wires a :class:`~repro.consensus.replica.PaxosReplica` to a
+:class:`~repro.store.kvstore.KvStore` and implements the deterministic
+apply logic for storage operations and for the prepare/commit/abort
+records of multi-group transactions.
+"""
+
+from repro.group.info import GroupGenesis, GroupInfo
+from repro.group.replica import GroupReplica, GroupStatus
+
+__all__ = ["GroupGenesis", "GroupInfo", "GroupReplica", "GroupStatus"]

@@ -1,0 +1,36 @@
+"""Payloads carried inside a group's Paxos log commands.
+
+Log command kinds used by the group layer:
+
+- ``app``: a :class:`~repro.store.kvstore.KvOp` (storage operation).
+- ``txn_prepare``: a :class:`~repro.txn.spec.TxnSpec` — locks the group.
+- ``txn_commit``: a :class:`TxnCommitCmd` — applies the group operation.
+- ``txn_abort``: a :class:`TxnAbortCmd` — releases the lock.
+- ``config`` / ``noop``: handled by the consensus layer itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.txn.spec import TxnSpec
+
+
+@dataclass(frozen=True)
+class TxnCommitCmd:
+    """Commit record: the spec plus any shipped state.
+
+    ``data`` maps role-specific keys (e.g. ``"left_state"``,
+    ``"right_state"``, ``"moving_state"``) to
+    :class:`~repro.store.kvstore.RangeState` snapshots gathered from
+    prepare responses.
+    """
+
+    spec: TxnSpec
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TxnAbortCmd:
+    spec: TxnSpec

@@ -1,0 +1,111 @@
+"""Deployment builders shared by experiments, benchmarks, and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baseline.chord import ChordClient, ChordConfig, ChordSystem
+from repro.consensus.replica import PaxosConfig
+from repro.dht.client import ClientConfig, ScatterClient
+from repro.dht.scatter import ScatterConfig
+from repro.dht.system import ScatterSystem
+from repro.policies import ScatterPolicy
+from repro.sim.latency import LatencyModel, LogNormalLatency
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+
+# Timing profile used across experiments: fast enough that a simulated
+# minute exercises many protocol rounds, slow enough that heartbeat
+# traffic doesn't dominate event counts.
+EXPERIMENT_PAXOS = PaxosConfig(
+    heartbeat_interval=0.15,
+    election_timeout=0.7,
+    lease_duration=0.5,
+    retry_interval=0.4,
+    compact_threshold=400,
+)
+
+
+def experiment_scatter_config(**overrides) -> ScatterConfig:
+    defaults = dict(
+        paxos=EXPERIMENT_PAXOS,
+        maintenance_interval=1.0,
+        dead_timeout=3.0,
+        txn_rpc_timeout=1.5,
+        txn_recovery_timeout=6.0,
+        txn_cooldown=2.0,
+        gossip_interval=3.0,
+        retired_linger=30.0,
+        join_retry=0.5,
+    )
+    defaults.update(overrides)
+    return ScatterConfig(**defaults)
+
+
+@dataclass
+class DeploymentParams:
+    """One deployment's shape, shared between the two backends."""
+
+    n_nodes: int = 30
+    n_groups: int = 10
+    n_clients: int = 4
+    seed: int = 1
+    latency: LatencyModel = field(default_factory=lambda: LogNormalLatency(0.004, 0.4))
+    drop_prob: float = 0.0
+    warmup: float = 3.0
+
+
+@dataclass
+class ScatterDeployment:
+    sim: Simulator
+    net: SimNetwork
+    system: ScatterSystem
+    clients: list[ScatterClient]
+
+
+@dataclass
+class ChordDeployment:
+    sim: Simulator
+    net: SimNetwork
+    system: ChordSystem
+    clients: list[ChordClient]
+
+
+def build_scatter_deployment(
+    params: DeploymentParams,
+    policy: ScatterPolicy | None = None,
+    config: ScatterConfig | None = None,
+    client_config: ClientConfig | None = None,
+) -> ScatterDeployment:
+    sim = Simulator(seed=params.seed)
+    net = SimNetwork(sim, latency=params.latency, drop_prob=params.drop_prob)
+    policy = policy or ScatterPolicy(target_size=3, split_size=7, merge_size=1)
+    system = ScatterSystem.build(
+        sim,
+        net,
+        n_nodes=params.n_nodes,
+        n_groups=params.n_groups,
+        config=config or experiment_scatter_config(),
+        policy=policy,
+    )
+    clients = [
+        ScatterClient(f"client{i}", sim, net, seed_provider=system.alive_node_ids,
+                      config=client_config)
+        for i in range(params.n_clients)
+    ]
+    sim.run_for(params.warmup)
+    return ScatterDeployment(sim, net, system, clients)
+
+
+def build_chord_deployment(
+    params: DeploymentParams, config: ChordConfig | None = None
+) -> ChordDeployment:
+    sim = Simulator(seed=params.seed)
+    net = SimNetwork(sim, latency=params.latency, drop_prob=params.drop_prob)
+    system = ChordSystem.build(sim, net, n_nodes=params.n_nodes, config=config)
+    clients = [
+        ChordClient(f"client{i}", sim, net, seed_provider=system.alive_node_ids)
+        for i in range(params.n_clients)
+    ]
+    sim.run_for(params.warmup)
+    return ChordDeployment(sim, net, system, clients)

@@ -1,0 +1,70 @@
+"""ASCII charts for experiment results — figures for the terminal.
+
+The paper's evaluation is mostly line/bar figures; these helpers render
+an :class:`~repro.harness.results.ExperimentResult` series as a quick
+bar chart so `python -m repro run E14 --chart p50_ms` shows the shape
+without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from repro.harness.results import ExperimentResult
+
+BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """A unicode bar of `width` cells proportional to value/maximum."""
+    if maximum <= 0 or value <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    out = "█" * full
+    if frac > 0 and full < width:
+        out += BLOCKS[frac]
+    return out
+
+
+def render_chart(
+    result: ExperimentResult,
+    y: str,
+    x: str | None = None,
+    group_by: str | None = None,
+    width: int = 40,
+) -> str:
+    """Bar chart of column ``y`` labelled by ``x`` (default: first column).
+
+    ``group_by`` prefixes each label with another column's value so
+    multi-series tables (e.g. backend x lifetime) stay readable.
+    """
+    if y not in result.columns:
+        raise ValueError(f"unknown column {y!r}; have {result.columns}")
+    x = x or result.columns[0]
+    values = []
+    labels = []
+    for row in result.rows:
+        value = row.get(y)
+        if not isinstance(value, (int, float)) or value != value:  # skip NaN
+            continue
+        label = str(row.get(x, ""))
+        if group_by is not None:
+            label = f"{row.get(group_by, '')}/{label}"
+        labels.append(label)
+        values.append(float(value))
+    if not values:
+        return f"(no numeric data in column {y!r})"
+    maximum = max(values)
+    label_width = max(len(l) for l in labels)
+    lines = [f"{result.experiment}: {y}"]
+    for label, value in zip(labels, values):
+        lines.append(f"{label.rjust(label_width)} | {bar(value, maximum, width)} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3g}"

@@ -1,0 +1,42 @@
+"""Metric extraction from client operation records."""
+
+from __future__ import annotations
+
+from repro.analysis import check_history
+from repro.analysis.stats import mean, percentile
+
+
+def workload_metrics(records: list, window: tuple[float, float] | None = None) -> dict:
+    """Availability / latency / consistency summary of a record list.
+
+    ``window`` restricts to operations invoked inside [start, end) so
+    warmup and drain phases don't pollute steady-state numbers.
+    """
+    all_records = records
+    if window is not None:
+        lo, hi = window
+        records = [r for r in records if lo <= r.invoke_time < hi]
+    completed = [r for r in records if r.completed]
+    # "successful" means the system answered within the op timeout; a
+    # not_found answer is a success for availability purposes.
+    availability = len(completed) / len(records) if records else float("nan")
+    latencies = [r.latency for r in completed]
+    get_latencies = [r.latency for r in completed if r.op == "get"]
+    put_latencies = [r.latency for r in completed if r.op == "put"]
+    # Consistency is judged over in-window reads against the *full*
+    # write history (a windowed read may legally return an older write).
+    check = check_history(all_records, window=window)
+    return {
+        "ops": len(records),
+        "completed": len(completed),
+        "availability": availability,
+        "latency_mean": mean(latencies),
+        "latency_p50": percentile(latencies, 50),
+        "latency_p99": percentile(latencies, 99),
+        "get_p50": percentile(get_latencies, 50),
+        "put_p50": percentile(put_latencies, 50),
+        "reads_checked": check.total_reads,
+        "violations": len(check.violations),
+        "violation_fraction": check.violation_fraction,
+        "mean_hops": mean([r.hops for r in completed]) if completed else float("nan"),
+    }

@@ -1,0 +1,57 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def format_table(title: str, columns: list[str], rows: list[dict], notes: str = "") -> str:
+    """Fixed-width table, like the paper's result listings."""
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(columns))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    if notes:
+        lines.append("")
+        lines.append(f"note: {notes}")
+    return "\n".join(lines)

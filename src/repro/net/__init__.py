@@ -1,0 +1,16 @@
+"""Typed messaging and RPC on top of the simulated network.
+
+Provides:
+
+- :class:`Future` — single-assignment result cell with callbacks.
+- :func:`spawn` — drive a generator-based process that yields Futures,
+  giving protocol code straight-line structure without asyncio (the
+  simulator stays single-threaded and deterministic).
+- :class:`Node` — an addressable endpoint with one-way typed messages and
+  request/response RPC with timeouts.
+"""
+
+from repro.net.futures import Future, RpcError, RpcTimeout, all_of, spawn
+from repro.net.node import Node
+
+__all__ = ["Future", "Node", "RpcError", "RpcTimeout", "all_of", "spawn"]

@@ -1,0 +1,13 @@
+"""Scatter's mechanism/policy split: pluggable overlay policies.
+
+The paper separates the *mechanisms* (group operations, joins, failure
+handling) from the *policies* that decide when and how to use them.
+:class:`ScatterPolicy` bundles the three policy axes evaluated in the
+paper — resilience (group sizing and join placement), load balance
+(split-point and placement choices), and latency (leader placement) —
+as declarative knobs interpreted by the node's maintenance loop.
+"""
+
+from repro.policies.policy import ScatterPolicy
+
+__all__ = ["ScatterPolicy"]

@@ -1,0 +1,91 @@
+"""Event heap for the discrete-event simulator.
+
+Events are ordered by (time, sequence).  The sequence number guarantees a
+total, deterministic order even when many events share a timestamp, which
+is common (e.g. a batch of messages delivered with constant latency).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``fn`` and ``args`` are excluded from ordering; only (time, seq)
+    participate so ordering never depends on callable identity.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: "EventQueue") -> None:
+        self._event = event
+        self._queue = queue
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._queue._note_cancelled()
+
+
+class EventQueue:
+    """Min-heap of events with lazy deletion of cancelled entries."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: float, fn: Callable[..., None], args: tuple[Any, ...] = ()) -> EventHandle:
+        event = Event(time=time, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event, self)
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1

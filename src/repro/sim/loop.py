@@ -1,0 +1,137 @@
+"""The simulator: a virtual clock plus the event loop that advances it."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.sim.events import EventHandle, EventQueue
+
+
+class Simulator:
+    """Single-threaded virtual-time event loop.
+
+    All components in a simulation share one ``Simulator``.  Time is a
+    float in seconds and only moves forward when the loop dequeues the
+    next event.  Randomness is obtained through :meth:`rng`, which hands
+    out independent, deterministically seeded streams keyed by name, so
+    adding a new consumer of randomness never perturbs existing streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._rngs: dict[str, random.Random] = {}
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def rng(self, stream: str) -> random.Random:
+        """Return the named deterministic random stream.
+
+        The stream's seed derives from (simulator seed, stream name), so
+        two simulations with the same seed see identical streams
+        regardless of creation order.
+        """
+        if stream not in self._rngs:
+            # random.Random accepts arbitrary hashable seeds but hash() of
+            # str is salted per-process; derive a stable integer instead.
+            derived = _stable_hash(f"{self.seed}:{stream}")
+            self._rngs[stream] = random.Random(derived)
+        return self._rngs[stream]
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, fn, args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        return self._queue.push(time, fn, args)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at the current time, after pending same-time events."""
+        return self._queue.push(self._now, fn, args)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        assert event.time >= self._now, "event heap returned a past event"
+        self._now = event.time
+        self._events_processed += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until the queue drains (or ``max_events`` is hit)."""
+        self._stopped = False
+        processed = 0
+        while not self._stopped:
+            if max_events is not None and processed >= max_events:
+                return
+            if not self.step():
+                return
+            processed += 1
+
+    def run_until(self, time: float) -> None:
+        """Run events with timestamp <= ``time``; leave the clock at ``time``.
+
+        Advancing the clock to exactly ``time`` even when the queue holds
+        no event at that instant keeps back-to-back ``run_until`` calls
+        composable.
+        """
+        self._stopped = False
+        while not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+        if self._now < time:
+            self._now = time
+
+    def run_for(self, duration: float) -> None:
+        """Run for ``duration`` seconds of virtual time from now."""
+        self.run_until(self._now + duration)
+
+    def stop(self) -> None:
+        """Make the innermost run loop return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent 64-bit hash (FNV-1a) for seed derivation."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

@@ -1,0 +1,143 @@
+"""Simulated message network.
+
+Endpoints register a handler under a string address.  ``send`` schedules
+delivery after a latency sampled from the installed :class:`LatencyModel`.
+The network models the failure modes the paper's protocols must tolerate:
+
+- **Crash/churn**: a departed endpoint silently swallows messages (both
+  inbound and, via :meth:`set_down`, outbound sends are suppressed).
+- **Loss**: each message is independently dropped with ``drop_prob``.
+- **Partitions**: arbitrary blocked endpoint pairs.
+
+Messages are delivered in timestamp order but *not* FIFO per link when the
+latency model is non-constant — exactly the asynchrony Paxos must handle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.loop import Simulator
+
+Handler = Callable[[str, Any], None]
+
+
+@dataclass
+class NetworkStats:
+    """Counters for traffic accounting (used by the scalability bench)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    to_dead: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def note_sent(self, msg: Any) -> None:
+        self.sent += 1
+        name = type(msg).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+
+class SimNetwork:
+    """Best-effort asynchronous message network over a :class:`Simulator`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        drop_prob: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError("drop_prob must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or ConstantLatency()
+        self.drop_prob = drop_prob
+        self.stats = NetworkStats()
+        self._handlers: dict[str, Handler] = {}
+        self._down: set[str] = set()
+        self._blocked_pairs: set[tuple[str, str]] = set()
+        self._rng = sim.rng("net")
+
+    # ------------------------------------------------------------------
+    # Endpoint lifecycle
+    # ------------------------------------------------------------------
+    def register(self, address: str, handler: Handler) -> None:
+        """Attach ``handler`` to ``address`` and mark it up."""
+        self._handlers[address] = handler
+        self._down.discard(address)
+
+    def unregister(self, address: str) -> None:
+        self._handlers.pop(address, None)
+        self._down.discard(address)
+
+    def set_down(self, address: str) -> None:
+        """Crash an endpoint: it neither sends nor receives until set_up."""
+        self._down.add(address)
+
+    def set_up(self, address: str) -> None:
+        self._down.discard(address)
+
+    def is_up(self, address: str) -> bool:
+        return address in self._handlers and address not in self._down
+
+    def addresses(self) -> list[str]:
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def block(self, a: str, b: str) -> None:
+        """Drop all traffic between ``a`` and ``b`` (both directions)."""
+        self._blocked_pairs.add((a, b))
+        self._blocked_pairs.add((b, a))
+
+    def unblock(self, a: str, b: str) -> None:
+        self._blocked_pairs.discard((a, b))
+        self._blocked_pairs.discard((b, a))
+
+    def partition(self, side_a: set[str], side_b: set[str]) -> None:
+        """Block every cross pair between the two sides."""
+        for a in side_a:
+            for b in side_b:
+                self.block(a, b)
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._blocked_pairs.clear()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, msg: Any) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` with simulated latency.
+
+        Loss, source death, and partitions are decided at send time;
+        destination death is decided at delivery time (so a message can be
+        lost when the destination crashes in flight — the realistic case).
+        """
+        self.stats.note_sent(msg)
+        if src in self._down:
+            self.stats.dropped += 1
+            return
+        if (src, dst) in self._blocked_pairs:
+            self.stats.dropped += 1
+            return
+        if self.drop_prob > 0 and self._rng.random() < self.drop_prob:
+            self.stats.dropped += 1
+            return
+        delay = self.latency.sample(src, dst, self._rng)
+        self.sim.schedule(delay, self._deliver, src, dst, msg)
+
+    def _deliver(self, src: str, dst: str, msg: Any) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None or dst in self._down:
+            self.stats.to_dead += 1
+            return
+        if (src, dst) in self._blocked_pairs:
+            self.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        handler(src, msg)

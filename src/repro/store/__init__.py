@@ -1,0 +1,5 @@
+"""Versioned key-value storage — the state machine each group replicates."""
+
+from repro.store.kvstore import KvOp, KvResult, KvStore, OP_CAS, OP_DELETE, OP_GET, OP_PUT
+
+__all__ = ["KvOp", "KvResult", "KvStore", "OP_CAS", "OP_DELETE", "OP_GET", "OP_PUT"]

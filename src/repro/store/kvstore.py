@@ -1,0 +1,192 @@
+"""The key-value state machine replicated by each Scatter group.
+
+Keys are integers in the DHT identifier space (hashed from user strings
+by the overlay layer).  Values are opaque.  Every mutation bumps a
+per-key version; versions let the linearizability checker and the Chirp
+application reason about staleness cheaply.
+
+The store also supports *range extraction* and *absorption*: a split
+transaction carves the state for one half of a group's range out of the
+store, and a merge transaction absorbs a neighbour's state.  Client
+session bookkeeping (for exactly-once retried operations) lives in the
+store too, because it must move with the data during splits and merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+OP_GET = "get"
+OP_PUT = "put"
+OP_DELETE = "delete"
+OP_CAS = "cas"
+
+_VALID_OPS = (OP_GET, OP_PUT, OP_DELETE, OP_CAS)
+
+
+@dataclass(frozen=True)
+class KvOp:
+    """One storage operation, as carried in a group's Paxos log."""
+
+    op: str
+    key: int
+    value: Any = None
+    expected_version: int | None = None  # for cas
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"unknown op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class KvResult:
+    """Outcome of a storage operation."""
+
+    ok: bool
+    value: Any = None
+    version: int = 0
+    error: str | None = None
+
+
+@dataclass
+class _Cell:
+    value: Any
+    version: int
+
+
+@dataclass
+class RangeState:
+    """Serialized slice of a store, moved by split/merge transactions."""
+
+    cells: dict[int, tuple[Any, int]] = field(default_factory=dict)
+    sessions: dict[str, dict[int, Any]] = field(default_factory=dict)
+
+
+# How many recent (client, seq) results to retain per client.  Retries of
+# an operation happen within seconds; a window this size outlives them by
+# orders of magnitude while bounding memory.
+SESSION_WINDOW = 128
+
+
+class KvStore:
+    """In-memory versioned KV map with client session dedup."""
+
+    def __init__(self) -> None:
+        self._cells: dict[int, _Cell] = {}
+        # client_id -> {seq: result}: exactly-once for retried operations.
+        # Exact-match (not a watermark) because one client may have many
+        # operations in flight, arriving at this shard in any order.
+        self._sessions: dict[str, dict[int, KvResult]] = {}
+        self.ops_applied = 0
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def apply(self, op: KvOp, dedup: tuple[str, int] | None = None) -> KvResult:
+        """Apply ``op``; with ``dedup=(client, seq)`` retries are idempotent."""
+        if dedup is not None:
+            client, seq = dedup
+            session = self._sessions.get(client)
+            if session is not None and seq in session:
+                return session[seq]
+        result = self._execute(op)
+        self.ops_applied += 1
+        if dedup is not None:
+            client, seq = dedup
+            session = self._sessions.setdefault(client, {})
+            session[seq] = result
+            if len(session) > SESSION_WINDOW:
+                for stale in sorted(session)[: len(session) - SESSION_WINDOW]:
+                    del session[stale]
+        return result
+
+    def _execute(self, op: KvOp) -> KvResult:
+        cell = self._cells.get(op.key)
+        if op.op == OP_GET:
+            if cell is None:
+                return KvResult(ok=False, error="not_found")
+            return KvResult(ok=True, value=cell.value, version=cell.version)
+        if op.op == OP_PUT:
+            if cell is None:
+                self._cells[op.key] = _Cell(value=op.value, version=1)
+                return KvResult(ok=True, version=1)
+            cell.value = op.value
+            cell.version += 1
+            return KvResult(ok=True, version=cell.version)
+        if op.op == OP_DELETE:
+            if cell is None:
+                return KvResult(ok=False, error="not_found")
+            del self._cells[op.key]
+            return KvResult(ok=True, version=cell.version)
+        # OP_CAS
+        if cell is None:
+            return KvResult(ok=False, error="not_found")
+        if op.expected_version is not None and cell.version != op.expected_version:
+            return KvResult(ok=False, value=cell.value, version=cell.version, error="conflict")
+        cell.value = op.value
+        cell.version += 1
+        return KvResult(ok=True, version=cell.version)
+
+    def get(self, key: int) -> KvResult:
+        """Read-only lookup (used by lease reads; does not count as an op)."""
+        cell = self._cells.get(key)
+        if cell is None:
+            return KvResult(ok=False, error="not_found")
+        return KvResult(ok=True, value=cell.value, version=cell.version)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def keys(self) -> list[int]:
+        return sorted(self._cells)
+
+    def keys_in(self, lo: int, hi: int) -> list[int]:
+        """Keys in [lo, hi) under ordinary integer order (no wraparound)."""
+        return sorted(k for k in self._cells if lo <= k < hi)
+
+    # ------------------------------------------------------------------
+    # Range movement (split / merge)
+    # ------------------------------------------------------------------
+    def extract(self, keys: list[int]) -> RangeState:
+        """Remove ``keys`` and return them as a transferable range state.
+
+        Client sessions are copied (not moved): a client may have
+        operations on both sides of a split, and duplicate session
+        entries are harmless — they only suppress replays.
+        """
+        state = RangeState()
+        for key in keys:
+            cell = self._cells.pop(key, None)
+            if cell is not None:
+                state.cells[key] = (cell.value, cell.version)
+        state.sessions = {c: dict(seqs) for c, seqs in self._sessions.items()}
+        return state
+
+    def absorb(self, state: RangeState) -> None:
+        """Install a range state produced by :meth:`extract`.
+
+        Session entries merge by union; the same (client, seq) always
+        maps to the same result, so collisions are harmless.
+        """
+        for key, (value, version) in state.cells.items():
+            self._cells[key] = _Cell(value=value, version=version)
+        for client, seqs in state.sessions.items():
+            self._sessions.setdefault(client, {}).update(seqs)
+
+    def snapshot(self) -> RangeState:
+        """Full copy of the store (bootstrap state for new group members)."""
+        return self.extract_copy(self.keys())
+
+    def extract_copy(self, keys: list[int]) -> RangeState:
+        """Like :meth:`extract` but non-destructive."""
+        state = RangeState()
+        for key in keys:
+            cell = self._cells.get(key)
+            if cell is not None:
+                state.cells[key] = (cell.value, cell.version)
+        state.sessions = {c: dict(seqs) for c, seqs in self._sessions.items()}
+        return state

@@ -1,0 +1,32 @@
+"""Multi-group distributed transactions (the Scatter group operations).
+
+Scatter changes the overlay — splitting, merging, migrating members
+between, and repartitioning adjacent groups — with two-phase commit
+whose participants (and coordinator) are Paxos groups.  Because every
+side of the protocol is itself replicated, the classic 2PC blocking
+failure mode (coordinator dies between prepare and commit) disappears:
+the coordinator group's next leader resumes or aborts the transaction,
+and participants can always learn the outcome from the coordinator
+group.  :mod:`repro.txn.classic` implements ordinary single-node 2PC for
+the E12 ablation that demonstrates the difference.
+"""
+
+from repro.txn.spec import (
+    MergeSpec,
+    MigrateSpec,
+    RepartitionSpec,
+    SplitSpec,
+    TxnDecision,
+    TxnSpec,
+    new_txn_id,
+)
+
+__all__ = [
+    "MergeSpec",
+    "MigrateSpec",
+    "RepartitionSpec",
+    "SplitSpec",
+    "TxnDecision",
+    "TxnSpec",
+    "new_txn_id",
+]

@@ -1,0 +1,130 @@
+"""Coordinator side of 2PC-over-Paxos-groups.
+
+The coordinator is the leader of one participant group.  Its driving
+process is *not* the source of truth — the coordinator group's log is:
+the transaction is committed exactly when a ``txn_commit`` record is
+chosen in the coordinator group's log.  The driver just pushes the
+protocol along; if it dies, the coordinator group's next leader (or a
+participant's recovery query) finishes or aborts the transaction, which
+is what makes the protocol non-blocking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.consensus.commands import Command
+from repro.dht.messages import TxnAbortReq, TxnCommitReq, TxnPrepareReq
+from repro.dht.rpc import GroupUnreachable, group_request
+from repro.group.commands import TxnAbortCmd, TxnCommitCmd
+from repro.group.info import GroupInfo
+from repro.net.futures import Future, all_of, spawn
+from repro.txn.spec import MergeSpec, RepartitionSpec, TxnSpec
+
+if TYPE_CHECKING:
+    from repro.dht.scatter import ScatterNode
+    from repro.group.replica import GroupReplica
+
+
+def run_group_operation(
+    node: "ScatterNode",
+    group: "GroupReplica",
+    spec: TxnSpec,
+    participant_infos: dict[str, GroupInfo],
+) -> Future:
+    """Drive ``spec`` to completion; resolves with "committed" or
+    "aborted:<reason>" (or "unknown:<reason>" if the driver lost its
+    leadership mid-flight and the outcome rests with recovery)."""
+    node.coordinating.add(group.gid)
+    future = spawn(node.sim, _drive(node, group, spec, participant_infos))
+    future.add_callback(lambda _f: node.coordinating.discard(group.gid))
+    return future
+
+
+def _drive(node: "ScatterNode", group: "GroupReplica", spec: TxnSpec, infos: dict[str, GroupInfo]):
+    remote_gids = [gid for gid in spec.participant_gids() if gid != group.gid]
+
+    # ---- Phase 1: prepare everywhere (locally through our own log). ----
+    local_prepare = group.paxos.propose(Command(kind="txn_prepare", payload=spec))
+    remote_prepares = [
+        spawn(node.sim, _remote_txn_rpc(node, infos[gid], TxnPrepareReq(gid, spec), gid))
+        for gid in remote_gids
+    ]
+    try:
+        local_status, local_data = yield local_prepare
+    except Exception as exc:
+        # We may or may not have locked our own group; recovery cleans up.
+        return f"unknown:local_prepare:{exc}"
+    replies = {group.gid: (local_status, local_data)}
+    try:
+        remote_results = yield all_of(remote_prepares)
+    except Exception as exc:
+        yield from _abort(node, group, spec, infos, remote_gids, f"prepare_rpc:{exc}")
+        return f"aborted:prepare_rpc:{exc}"
+    for gid, resp in zip(remote_gids, remote_results):
+        replies[gid] = (resp.status, resp.data)
+    refused = [gid for gid, (status, _d) in replies.items() if status != "prepared"]
+    if refused:
+        reasons = {gid: replies[gid] for gid in refused}
+        yield from _abort(node, group, spec, infos, remote_gids, f"refused:{reasons}")
+        return f"aborted:refused:{sorted(refused)}"
+
+    # ---- Commit point: the record in the coordinator group's log. ----
+    data = _assemble_commit_data(spec, {gid: d for gid, (_s, d) in replies.items()})
+    local_commit = group.paxos.propose(
+        Command(kind="txn_commit", payload=TxnCommitCmd(spec=spec, data=data))
+    )
+    try:
+        commit_status, _ = yield local_commit
+    except Exception as exc:
+        return f"unknown:local_commit:{exc}"
+    if commit_status not in ("committed", "dup"):
+        # Our group raced us (e.g. recovery aborted first).
+        return f"aborted:local_commit:{commit_status}"
+
+    # ---- Phase 2: notify the other participants (best effort; they can
+    # always recover the outcome from our group). ----
+    notifies = [
+        spawn(node.sim, _remote_txn_rpc(node, infos[gid], TxnCommitReq(gid, spec, data), gid))
+        for gid in remote_gids
+    ]
+    if notifies:
+        try:
+            yield all_of(notifies)
+        except Exception:
+            pass  # stragglers learn the outcome through recovery
+    return "committed"
+
+
+def _abort(node, group, spec, infos, remote_gids, reason):
+    """Record the abort decision in our log, then tell the others."""
+    local = group.paxos.propose(Command(kind="txn_abort", payload=TxnAbortCmd(spec=spec)))
+    try:
+        yield local
+    except Exception:
+        pass  # recovery will finish the job
+    for gid in remote_gids:
+        spawn(node.sim, _remote_txn_rpc(node, infos[gid], TxnAbortReq(gid, spec), gid))
+
+
+def _remote_txn_rpc(node: "ScatterNode", info: GroupInfo, msg, gid: str):
+    """Send a transaction RPC to a group, following leader hints."""
+    try:
+        resp = yield from group_request(
+            node, info, lambda: msg, timeout=node.config.txn_rpc_timeout
+        )
+    except GroupUnreachable as exc:
+        raise GroupUnreachable(f"txn rpc to {gid}: {exc}") from exc
+    return resp
+
+
+def _assemble_commit_data(spec: TxnSpec, prepare_data: dict) -> dict:
+    """Pick the shipped state each commit record must carry."""
+    if isinstance(spec, MergeSpec):
+        return {
+            "left_state": prepare_data.get(spec.left_gid),
+            "right_state": prepare_data.get(spec.right_gid),
+        }
+    if isinstance(spec, RepartitionSpec):
+        return {"moving_state": prepare_data.get(spec.donor_gid)}
+    return {}

@@ -1,0 +1,159 @@
+"""Descriptors for the four Scatter group operations.
+
+A spec is an immutable description of the whole transaction, created by
+the coordinating group's leader and carried verbatim in every
+participant's Paxos log (inside prepare/commit/abort commands).  Every
+replica applying the same spec performs the same deterministic state
+change, which is what keeps the members of each participant group in
+agreement about the overlay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+
+from typing import TYPE_CHECKING
+
+from repro.dht.ring import KeyRange
+
+if TYPE_CHECKING:
+    from repro.group.info import GroupInfo
+
+_txn_counter = itertools.count(1)
+
+
+def new_txn_id(coordinator_node: str) -> str:
+    """Globally unique transaction id (node-scoped counter)."""
+    return f"txn:{coordinator_node}:{next(_txn_counter)}"
+
+
+class TxnDecision(Enum):
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """Blueprint of a group to be created by a split or merge."""
+
+    gid: str
+    range: KeyRange
+    members: tuple[str, ...]
+    initial_leader: str
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """Base descriptor; concrete operations subclass it."""
+
+    txn_id: str
+    coordinator_gid: str
+    # Members of the coordinator group at txn creation — participants use
+    # this to locate the coordinator for outcome queries after failures.
+    coordinator_members: tuple[str, ...]
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.removesuffix("Spec").lower()
+
+    def participant_gids(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SplitSpec(TxnSpec):
+    """Split ``gid`` into two new adjacent groups at ``split_key``.
+
+    Participants: the splitting group plus its predecessor and successor
+    groups (whose adjacency pointers must move atomically with the
+    split).  Either neighbor may coincide with the splitting group (ring
+    of one) or with each other (ring of two); apply logic handles both.
+    """
+
+    gid: str
+    split_key: int
+    left: GroupPlan  # keeps [lo, split_key)
+    right: GroupPlan  # keeps [split_key, hi)
+    pred_gid: str | None
+    succ_gid: str | None
+
+    def participant_gids(self) -> tuple[str, ...]:
+        out = [self.gid]
+        for neighbor in (self.pred_gid, self.succ_gid):
+            if neighbor is not None and neighbor not in out:
+                out.append(neighbor)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class MergeSpec(TxnSpec):
+    """Merge adjacent groups ``left_gid`` and ``right_gid`` into one.
+
+    ``left_gid``'s range must immediately precede ``right_gid``'s.
+    Participants additionally include the outer neighbors whose pointers
+    must be updated.  Both constituent stores are snapshotted at prepare
+    time and travel in the commit command, so every member of the new
+    group starts from identical state.
+    """
+
+    left_gid: str
+    right_gid: str
+    merged: GroupPlan
+    # Cached infos of the outer neighbors (None in a one/two-group ring,
+    # where the merged group closes the ring).
+    outer_pred_info: "GroupInfo | None"
+    outer_succ_info: "GroupInfo | None"
+
+    @property
+    def outer_pred_gid(self) -> str | None:
+        return self.outer_pred_info.gid if self.outer_pred_info else None
+
+    @property
+    def outer_succ_gid(self) -> str | None:
+        return self.outer_succ_info.gid if self.outer_succ_info else None
+
+    def participant_gids(self) -> tuple[str, ...]:
+        out = [self.left_gid, self.right_gid]
+        for neighbor in (self.outer_pred_gid, self.outer_succ_gid):
+            if neighbor is not None and neighbor not in out:
+                out.append(neighbor)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class MigrateSpec(TxnSpec):
+    """Move ``node`` from ``from_gid`` to ``to_gid``.
+
+    The transaction locks both groups so a migration cannot interleave
+    with a split or merge that would invalidate it; the actual membership
+    edits are ordinary Paxos config changes issued when the commit
+    applies.
+    """
+
+    node: str
+    from_gid: str
+    to_gid: str
+
+    def participant_gids(self) -> tuple[str, ...]:
+        return (self.from_gid, self.to_gid)
+
+
+@dataclass(frozen=True)
+class RepartitionSpec(TxnSpec):
+    """Move the boundary between adjacent groups to ``new_boundary``.
+
+    Keys between the old and new boundary move from the donor group to
+    the receiver.  The donor snapshots the moving range at prepare time;
+    the snapshot travels in the commit command.
+    """
+
+    left_gid: str
+    right_gid: str
+    new_boundary: int
+    donor_gid: str  # which of the two gives up keys
+
+    def participant_gids(self) -> tuple[str, ...]:
+        return (self.left_gid, self.right_gid)

@@ -1,0 +1,15 @@
+"""Workload and churn generation for the evaluation."""
+
+from repro.workloads.churn import ChurnProcess, exponential_lifetime, pareto_lifetime
+from repro.workloads.keys import KeySpace, UniformKeys, ZipfKeys
+from repro.workloads.driver import ClosedLoopWorkload
+
+__all__ = [
+    "ChurnProcess",
+    "ClosedLoopWorkload",
+    "KeySpace",
+    "UniformKeys",
+    "ZipfKeys",
+    "exponential_lifetime",
+    "pareto_lifetime",
+]

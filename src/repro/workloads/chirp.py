@@ -1,0 +1,201 @@
+"""Chirp: the paper's Twitter-clone application workload.
+
+Chirp stores everything in the key-value overlay, so it runs unchanged
+over Scatter or the Chord baseline:
+
+- ``chirp:flw:<user>``   — list of users <user> follows
+- ``chirp:cnt:<user>``   — number of chirps <user> has posted
+- ``chirp:tw:<user>:<i>`` — the i-th chirp
+
+Posting is two writes (tweet, then counter); fetching a timeline is a
+fan-out read of every followee's counter and latest chirps.  The mix is
+read-heavy, matching the paper's description of Chirp traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.futures import Future, all_of, spawn
+from repro.sim.loop import Simulator
+from repro.workloads.driver import WorkloadClient
+
+
+@dataclass
+class ChirpStats:
+    posts: int = 0
+    fetches: int = 0
+    failed_posts: int = 0
+    failed_fetches: int = 0
+    fetch_latencies: list[float] = field(default_factory=list)
+    post_latencies: list[float] = field(default_factory=list)
+    timeline_sizes: list[int] = field(default_factory=list)
+
+
+class ChirpService:
+    """Application logic for one client connection."""
+
+    def __init__(self, sim: Simulator, client: WorkloadClient) -> None:
+        self.sim = sim
+        self.client = client
+        self.stats = ChirpStats()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def follow(self, user: str, target: str) -> Future:
+        return spawn(self.sim, self._follow(user, target))
+
+    def _follow(self, user: str, target: str):
+        current = yield self.client.get(f"chirp:flw:{user}")
+        following = list(current.value) if current.ok else []
+        if target not in following:
+            following.append(target)
+            result = yield self.client.put(f"chirp:flw:{user}", tuple(following))
+            return result.ok
+        return True
+
+    def post(self, user: str, text: str) -> Future:
+        return spawn(self.sim, self._post(user, text))
+
+    def _post(self, user: str, text: str):
+        start = self.sim.now
+        counter = yield self.client.get(f"chirp:cnt:{user}")
+        index = counter.value if counter.ok else 0
+        tweet = yield self.client.put(f"chirp:tw:{user}:{index}", (self.sim.now, text))
+        if not tweet.ok:
+            self.stats.failed_posts += 1
+            return False
+        bump = yield self.client.put(f"chirp:cnt:{user}", index + 1)
+        ok = bump.ok
+        self.stats.posts += 1 if ok else 0
+        self.stats.failed_posts += 0 if ok else 1
+        if ok:
+            self.stats.post_latencies.append(self.sim.now - start)
+        return ok
+
+    def fetch_timeline(self, user: str, per_user: int = 1) -> Future:
+        return spawn(self.sim, self._fetch(user, per_user))
+
+    def _fetch(self, user: str, per_user: int):
+        start = self.sim.now
+        following = yield self.client.get(f"chirp:flw:{user}")
+        if not following.ok:
+            self.stats.failed_fetches += 1
+            return []
+        followees = list(following.value)
+        counters = yield all_of([self.client.get(f"chirp:cnt:{f}") for f in followees])
+        tweet_futures = []
+        tweet_owners = []
+        for followee, counter in zip(followees, counters):
+            if not counter.ok or counter.value == 0:
+                continue
+            for i in range(max(0, counter.value - per_user), counter.value):
+                tweet_futures.append(self.client.get(f"chirp:tw:{followee}:{i}"))
+                tweet_owners.append(followee)
+        tweets = yield all_of(tweet_futures)
+        timeline = [
+            (owner, result.value)
+            for owner, result in zip(tweet_owners, tweets)
+            if result.ok
+        ]
+        timeline.sort(key=lambda t: t[1][0] if t[1] else 0)
+        self.stats.fetches += 1
+        self.stats.fetch_latencies.append(self.sim.now - start)
+        self.stats.timeline_sizes.append(len(timeline))
+        return timeline
+
+
+class ChirpWorkload:
+    """A population of Chirp users driven closed-loop.
+
+    Users are assigned round-robin to client connections.  The follow
+    graph is preferential: popular users (low index) attract more
+    followers, like real social graphs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clients: list[WorkloadClient],
+        n_users: int = 20,
+        follows_per_user: int = 4,
+        post_fraction: float = 0.1,
+        think_time: float = 0.2,
+    ) -> None:
+        self.sim = sim
+        self.services = [ChirpService(sim, c) for c in clients]
+        self.n_users = n_users
+        self.follows_per_user = follows_per_user
+        self.post_fraction = post_fraction
+        self.think_time = think_time
+        self.rng = sim.rng("chirp")
+        self._running = False
+        self._post_counter = 0
+
+    def user(self, i: int) -> str:
+        return f"user{i}"
+
+    def service_for(self, i: int) -> ChirpService:
+        return self.services[i % len(self.services)]
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Future:
+        """Build the follow graph; resolve when all follows are stored.
+
+        Follows for one user mutate one key (read-modify-write), so each
+        user's follows run sequentially; different users run in parallel.
+        """
+        futures = []
+        for i in range(self.n_users):
+            targets = set()
+            while len(targets) < min(self.follows_per_user, self.n_users - 1):
+                # Preferential attachment: rank r picked ~ quadratically.
+                candidate = int(self.n_users * self.rng.random() ** 2)
+                if candidate != i:
+                    targets.add(candidate)
+            futures.append(spawn(self.sim, self._follow_all(i, sorted(targets))))
+        return all_of(futures)
+
+    def _follow_all(self, i: int, targets: list[int]):
+        service = self.service_for(i)
+        for t in targets:
+            yield service.follow(self.user(i), self.user(t))
+
+    def start(self) -> None:
+        self._running = True
+        for i in range(self.n_users):
+            spawn(self.sim, self._user_loop(i))
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _user_loop(self, i: int):
+        service = self.service_for(i)
+        user = self.user(i)
+        while self._running:
+            if self.rng.random() < self.post_fraction:
+                self._post_counter += 1
+                yield service.post(user, f"chirp #{self._post_counter} from {user}")
+            else:
+                yield service.fetch_timeline(user)
+            pause = Future()
+            self.sim.schedule(
+                self.think_time * self.rng.uniform(0.5, 1.5), pause.set_result, None
+            )
+            yield pause
+
+    # ------------------------------------------------------------------
+    def combined_stats(self) -> ChirpStats:
+        total = ChirpStats()
+        for service in self.services:
+            s = service.stats
+            total.posts += s.posts
+            total.fetches += s.fetches
+            total.failed_posts += s.failed_posts
+            total.failed_fetches += s.failed_fetches
+            total.fetch_latencies.extend(s.fetch_latencies)
+            total.post_latencies.extend(s.post_latencies)
+            total.timeline_sizes.extend(s.timeline_sizes)
+        return total

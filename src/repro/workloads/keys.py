@@ -1,0 +1,60 @@
+"""Key popularity distributions for storage workloads."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from abc import ABC, abstractmethod
+
+
+class KeySpace(ABC):
+    """A population of string keys with a sampling distribution."""
+
+    def __init__(self, n_keys: int, prefix: str = "key") -> None:
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        self.n_keys = n_keys
+        self.prefix = prefix
+
+    def key(self, index: int) -> str:
+        return f"{self.prefix}-{index}"
+
+    def all_keys(self) -> list[str]:
+        return [self.key(i) for i in range(self.n_keys)]
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> str:
+        """Draw a key according to the popularity distribution."""
+
+
+class UniformKeys(KeySpace):
+    """Every key equally likely (the paper's microbenchmark workload)."""
+
+    def sample(self, rng: random.Random) -> str:
+        return self.key(rng.randrange(self.n_keys))
+
+
+class ZipfKeys(KeySpace):
+    """Zipf(theta) popularity — skewed load for the load-balance policy.
+
+    Rank r gets probability proportional to 1/r^theta.  theta around
+    0.8–1.2 matches measured web/social access skew.
+    """
+
+    def __init__(self, n_keys: int, theta: float = 0.99, prefix: str = "key") -> None:
+        super().__init__(n_keys, prefix)
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.theta = theta
+        weights = [1.0 / ((rank + 1) ** theta) for rank in range(n_keys)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> str:
+        rank = bisect.bisect_left(self._cdf, rng.random())
+        return self.key(min(rank, self.n_keys - 1))

@@ -1,0 +1,79 @@
+"""System audit tests and Chord lookup-scaling checks."""
+
+import pytest
+
+from repro.baseline.chord import ChordClient, ChordSystem
+from repro.dht.ring import KeyRange
+from repro.group.replica import GroupStatus
+from repro.sim import ConstantLatency, SimNetwork, Simulator
+
+from test_scatter_basic import build, make_client
+from test_group_ops import build_manual
+
+
+class TestAudit:
+    def test_clean_deployment_audits_clean(self):
+        sim, net, system = build()
+        assert system.audit() == []
+
+    def test_audit_after_group_operations(self):
+        sim, net, system = build_manual(n_nodes=8, n_groups=2)
+        leader = system.leader_of("g0")
+        leader.host.start_split(leader)
+        sim.run_for(10.0)
+        leader = system.leader_of(sorted(system.active_groups())[0])
+        leader.host.start_merge(leader)
+        sim.run_for(10.0)
+        assert system.audit() == []
+
+    def test_audit_detects_forged_gap(self):
+        sim, net, system = build(n_nodes=6, n_groups=2)
+        g = next(iter(system.active_groups().values()))
+        for node in system.nodes.values():
+            replica = node.groups.get(g.gid)
+            if replica is not None:
+                replica.range = KeyRange(replica.range.lo, (replica.range.lo + 7) % (1 << 32))
+        assert any("partition" in p for p in system.audit())
+
+    def test_audit_detects_frozen_without_txn(self):
+        sim, net, system = build(n_nodes=6, n_groups=2)
+        g = next(iter(system.active_groups().values()))
+        g.status = GroupStatus.FROZEN
+        assert any("frozen" in p for p in system.audit())
+
+    def test_audit_after_churn(self):
+        sim, net, system = build(n_nodes=9, n_groups=3)
+        victims = system.alive_node_ids()[:2]
+        for v in victims:
+            system.kill_node(v)
+            sim.run_for(8.0)
+        sim.run_for(10.0)
+        problems = [p for p in system.audit() if "hosts no replica" not in p]
+        assert problems == []
+
+
+class TestChordLookupScaling:
+    def _hops(self, n_nodes, n_lookups=25, seed=5):
+        sim = Simulator(seed=seed)
+        net = SimNetwork(sim, latency=ConstantLatency(0.004))
+        system = ChordSystem.build(sim, net, n_nodes=n_nodes)
+        sim.run_for(5.0)  # let fingers converge (fix_fingers round-robin)
+        sim.run_for(n_nodes * 0.7)
+        client = ChordClient("hopper", sim, net, seed_provider=system.alive_node_ids)
+        rng = sim.rng("hop-keys")
+        for i in range(n_lookups):
+            client.put(f"hop-{rng.randrange(10_000)}", i)
+        sim.run_for(20.0)
+        completed = [r for r in client.records if r.completed]
+        assert completed
+        return sum(r.hops for r in completed) / len(completed)
+
+    def test_lookups_scale_sublinearly(self):
+        small = self._hops(8)
+        big = self._hops(64)
+        # 8x the nodes must cost far less than 8x the work (fingers!).
+        assert big < small * 4
+
+    def test_lookup_hops_logarithmic_for_large_ring(self):
+        # log2(64) = 6; fingers should keep the average well under n/2.
+        assert self._hops(64) < 10

@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.charts import bar, render_chart
+from repro.harness.results import ExperimentResult
+
+
+def result_fixture():
+    r = ExperimentResult("EX", "t", ["name", "value", "series"])
+    r.add(name="a", value=10.0, series="s1")
+    r.add(name="b", value=40.0, series="s1")
+    r.add(name="c", value=20.0, series="s2")
+    return r
+
+
+class TestBar:
+    def test_full_bar_at_maximum(self):
+        assert bar(10, 10, width=10) == "█" * 10
+
+    def test_zero_is_empty(self):
+        assert bar(0, 10) == ""
+        assert bar(5, 0) == ""
+
+    def test_proportional(self):
+        assert len(bar(5, 10, width=10)) in (5, 6)  # half, maybe partial block
+
+
+class TestRenderChart:
+    def test_labels_and_values_present(self):
+        text = render_chart(result_fixture(), y="value")
+        assert "a |" in text
+        assert "40.0" in text
+
+    def test_largest_value_has_longest_bar(self):
+        text = render_chart(result_fixture(), y="value", width=20)
+        lines = {l.split("|")[0].strip(): l for l in text.splitlines()[1:]}
+        assert lines["b"].count("█") > lines["a"].count("█")
+
+    def test_group_by_prefix(self):
+        text = render_chart(result_fixture(), y="value", group_by="series")
+        assert "s1/a" in text
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            render_chart(result_fixture(), y="nope")
+
+    def test_non_numeric_rows_skipped(self):
+        r = ExperimentResult("EX", "t", ["name", "value"])
+        r.add(name="x", value="not-a-number")
+        r.add(name="y", value=3.0)
+        text = render_chart(r, y="value")
+        assert "x |" not in text
+        assert "y |" in text
+
+    def test_all_non_numeric(self):
+        r = ExperimentResult("EX", "t", ["name", "value"])
+        r.add(name="x", value="zzz")
+        assert "no numeric data" in render_chart(r, y="value")

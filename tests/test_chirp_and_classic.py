@@ -1,0 +1,124 @@
+"""Tests for the Chirp application and the classic-2PC strawman."""
+
+import pytest
+
+from repro.txn.classic import ClassicCoordinator, ClassicParticipant
+from repro.sim import ConstantLatency, SimNetwork, Simulator
+from repro.workloads.chirp import ChirpService, ChirpWorkload
+
+from test_scatter_basic import build, make_client
+
+
+class TestChirpOnScatter:
+    def _service(self):
+        sim, net, system = build()
+        client = make_client(sim, net, system)
+        return sim, ChirpService(sim, client)
+
+    def test_post_and_fetch(self):
+        sim, service = self._service()
+        service.follow("alice", "bob")
+        sim.run_for(4.0)
+        service.post("bob", "hello world")
+        sim.run_for(4.0)
+        f = service.fetch_timeline("alice")
+        sim.run_for(4.0)
+        timeline = f.result()
+        assert len(timeline) == 1
+        assert timeline[0][0] == "bob"
+        assert timeline[0][1][1] == "hello world"
+
+    def test_multiple_posts_timeline_ordering(self):
+        sim, service = self._service()
+        # Follows are read-modify-write on one key: issue sequentially,
+        # as each user's own loop does.
+        service.follow("alice", "bob")
+        sim.run_for(4.0)
+        service.follow("alice", "carol")
+        sim.run_for(4.0)
+        service.post("bob", "first")
+        sim.run_for(2.0)
+        service.post("carol", "second")
+        sim.run_for(2.0)
+        f = service.fetch_timeline("alice")
+        sim.run_for(4.0)
+        timeline = f.result()
+        assert [t[1][1] for t in timeline] == ["first", "second"]
+
+    def test_per_user_limit(self):
+        sim, service = self._service()
+        service.follow("a", "b")
+        sim.run_for(4.0)
+        for i in range(4):
+            service.post("b", f"msg{i}")
+            sim.run_for(2.0)
+        f = service.fetch_timeline("a", per_user=2)
+        sim.run_for(4.0)
+        assert [t[1][1] for t in f.result()] == ["msg2", "msg3"]
+
+    def test_empty_timeline(self):
+        sim, service = self._service()
+        f = service.fetch_timeline("loner")
+        sim.run_for(4.0)
+        assert f.result() == []
+
+    def test_workload_generates_traffic(self):
+        sim, net, system = build()
+        clients = [make_client(sim, net, system, f"cw{i}") for i in range(3)]
+        workload = ChirpWorkload(sim, clients, n_users=8, follows_per_user=3, think_time=0.3)
+        setup = workload.setup()
+        sim.run_for(15.0)
+        assert setup.done and setup.exception is None
+        workload.start()
+        sim.run_for(20.0)
+        workload.stop()
+        stats = workload.combined_stats()
+        assert stats.fetches > 10
+        assert stats.posts >= 1
+        assert stats.fetch_latencies
+
+
+class TestClassic2PC:
+    def _cluster(self, n=3):
+        sim = Simulator(seed=0)
+        net = SimNetwork(sim, latency=ConstantLatency(0.005))
+        coordinator = ClassicCoordinator("coord", sim, net)
+        participants = [ClassicParticipant(f"p{i}", sim, net) for i in range(n)]
+        return sim, net, coordinator, participants
+
+    def test_commit_when_all_vote_yes(self):
+        sim, net, coord, parts = self._cluster()
+        f = coord.run_txn("t1", [p.node_id for p in parts])
+        sim.run_for(2.0)
+        assert f.result() == "committed"
+        assert all("t1" in p.committed for p in parts)
+        assert all(p.locked_txn is None for p in parts)
+
+    def test_abort_when_participant_locked(self):
+        sim, net, coord, parts = self._cluster()
+        parts[1].locked_txn = "other"
+        parts[1].lock_acquired_at = 0.0
+        f = coord.run_txn("t2", [p.node_id for p in parts])
+        sim.run_for(2.0)
+        assert f.result() == "aborted"
+        assert "t2" in parts[0].aborted
+
+    def test_abort_on_dead_participant(self):
+        sim, net, coord, parts = self._cluster()
+        parts[2].crash()
+        f = coord.run_txn("t3", [p.node_id for p in parts])
+        sim.run_for(3.0)
+        assert f.result() == "aborted"
+
+    def test_coordinator_death_blocks_participants_forever(self):
+        """The blocking failure Scatter's design removes."""
+        sim, net, coord, parts = self._cluster()
+        coord.run_txn("t4", [p.node_id for p in parts])
+        # Kill the coordinator right after the votes are cast but before
+        # the decision goes out: one latency unit after prepare arrives.
+        sim.run_for(0.008)
+        coord.crash()
+        sim.run_for(60.0)
+        blocked = [p for p in parts if p.locked_txn == "t4"]
+        assert blocked, "participants should be stuck holding locks"
+        assert all(p.blocked_for > 59.0 for p in blocked)

@@ -1,0 +1,180 @@
+"""Tests for the Chord baseline DHT."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.chord import ChordClient, ChordConfig, ChordSystem, in_interval
+from repro.dht.ring import KEY_SPACE, hash_key
+from repro.sim import ConstantLatency, SimNetwork, Simulator
+
+
+def build(n=16, seed=3, drop=0.0):
+    sim = Simulator(seed=seed)
+    net = SimNetwork(sim, latency=ConstantLatency(0.004), drop_prob=drop)
+    system = ChordSystem.build(sim, net, n_nodes=n)
+    sim.run_for(2.0)
+    return sim, net, system
+
+
+def client_for(sim, net, system, name="cc0"):
+    return ChordClient(name, sim, net, seed_provider=system.alive_node_ids)
+
+
+class TestInterval:
+    def test_simple(self):
+        assert in_interval(5, 1, 10)
+        assert not in_interval(1, 1, 10)
+        assert not in_interval(10, 1, 10)
+        assert in_interval(10, 1, 10, inclusive_hi=True)
+
+    def test_wrapping(self):
+        assert in_interval(1, KEY_SPACE - 5, 10)
+        assert in_interval(KEY_SPACE - 1, KEY_SPACE - 5, 10)
+        assert not in_interval(100, KEY_SPACE - 5, 10)
+
+    def test_degenerate_full_circle(self):
+        assert in_interval(7, 3, 3, inclusive_hi=True)
+        assert in_interval(3, 3, 3, inclusive_hi=True)
+        assert not in_interval(3, 3, 3)
+        assert in_interval(7, 3, 3)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        x=st.integers(0, KEY_SPACE - 1),
+        lo=st.integers(0, KEY_SPACE - 1),
+        hi=st.integers(0, KEY_SPACE - 1),
+    )
+    def test_interval_complement(self, x, lo, hi):
+        # (lo, hi] and (hi, lo] partition the ring (for lo != hi).
+        if lo == hi:
+            return
+        a = in_interval(x, lo, hi, inclusive_hi=True)
+        b = in_interval(x, hi, lo, inclusive_hi=True)
+        assert a != b
+
+
+class TestRing:
+    def test_prebuilt_ring_is_correct(self):
+        sim, net, system = build(n=8)
+        ordered = sorted(system.nodes, key=hash_key)
+        for i, name in enumerate(ordered):
+            assert system.nodes[name].successor == ordered[(i + 1) % 8]
+            assert system.nodes[name].predecessor == ordered[(i - 1) % 8]
+
+    def test_stabilization_keeps_ring_after_failure(self):
+        sim, net, system = build(n=12)
+        victims = system.alive_node_ids()[:2]
+        for v in victims:
+            system.kill_node(v)
+        sim.run_for(10.0)
+        ordered = sorted(system.alive_node_ids(), key=hash_key)
+        for i, name in enumerate(ordered):
+            node = system.nodes[name]
+            assert node.successor == ordered[(i + 1) % len(ordered)]
+
+    def test_join_integrates_new_node(self):
+        sim, net, system = build(n=8)
+        node = system.add_node()
+        sim.run_for(15.0)
+        ordered = sorted(system.alive_node_ids(), key=hash_key)
+        idx = ordered.index(node.node_id)
+        assert node.successor == ordered[(idx + 1) % len(ordered)]
+        # The ring closed around the newcomer.
+        pred_name = ordered[(idx - 1) % len(ordered)]
+        assert system.nodes[pred_name].successor == node.node_id
+
+
+class TestOps:
+    def test_put_get_roundtrip(self):
+        sim, net, system = build()
+        client = client_for(sim, net, system)
+        f = client.put("alpha", 1)
+        sim.run_for(2.0)
+        assert f.result().ok
+        g = client.get("alpha")
+        sim.run_for(2.0)
+        assert g.result().value == 1
+
+    def test_key_stored_at_owner_and_replicas(self):
+        sim, net, system = build()
+        client = client_for(sim, net, system)
+        client.put("beta", 42)
+        sim.run_for(3.0)
+        key = hash_key("beta")
+        holders = [n for n in system.nodes.values() if key in n.store]
+        assert len(holders) >= 2  # owner plus at least one replica
+
+    def test_get_missing(self):
+        sim, net, system = build()
+        client = client_for(sim, net, system)
+        f = client.get("nothing")
+        sim.run_for(2.0)
+        assert not f.result().ok
+
+    def test_many_keys(self):
+        sim, net, system = build()
+        client = client_for(sim, net, system)
+        puts = [client.put(f"k{i}", i) for i in range(30)]
+        sim.run_for(5.0)
+        assert all(f.result().ok for f in puts)
+        gets = [client.get(f"k{i}") for i in range(30)]
+        sim.run_for(5.0)
+        assert [f.result().value for f in gets] == list(range(30))
+
+    def test_data_survives_single_failure(self):
+        sim, net, system = build()
+        client = client_for(sim, net, system)
+        client.put("gamma", "v")
+        sim.run_for(3.0)
+        key = hash_key("gamma")
+        owner = min(
+            system.alive_node_ids(),
+            key=lambda n: (hash_key(n) - key) % KEY_SPACE,
+        )
+        system.kill_node(owner)
+        sim.run_for(8.0)  # stabilize; replica takes over ownership
+        f = client.get("gamma")
+        sim.run_for(3.0)
+        assert f.result().ok
+        assert f.result().value == "v"
+
+    def test_consistency_can_be_violated_under_churn(self):
+        """The motivating observation: best-effort DHTs go stale.
+
+        This is probabilistic but the window is engineered to be wide:
+        kill the owner immediately after an acked overwrite, before
+        replication/repair propagates the new value.
+        """
+        violations = 0
+        for seed in range(8):
+            sim = Simulator(seed=seed)
+            # Lossy network: the ack can succeed while the asynchronous
+            # replica push is dropped — then the owner dies holding the
+            # only copy of the newest value.
+            net = SimNetwork(sim, latency=ConstantLatency(0.004), drop_prob=0.4)
+            system = ChordSystem.build(
+                sim, net, n_nodes=16, config=ChordConfig(repair_interval=60.0, replication=2)
+            )
+            sim.run_for(2.0)
+            client = client_for(sim, net, system)
+            client.put("hot", "old")
+            sim.run_for(5.0)
+            key = hash_key("hot")
+            f = client.put("hot", "new")
+            sim.run_for(2.0)
+            owner = min(
+                system.alive_node_ids(), key=lambda n: (hash_key(n) - key) % KEY_SPACE
+            )
+            system.kill_node(owner)
+            sim.run_for(10.0)
+            g = client.get("hot")
+            sim.run_for(8.0)
+            acked = f.done and f.exception is None and f.result().ok
+            read = g.result() if g.done and g.exception is None else None
+            stale = read is not None and (
+                (read.ok and read.value == "old") or (not read.ok)
+            )
+            if acked and stale:
+                violations += 1
+        assert violations >= 1

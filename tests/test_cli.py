@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.experiments import ALL_EXPERIMENTS, EXPERIMENT_TITLES
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E1", "E2"])
+        assert args.experiments == ["E1", "E2"]
+        assert not args.full
+
+    def test_churn_options(self):
+        args = build_parser().parse_args(
+            ["churn", "--backend", "chord", "--lifetime", "50", "--nodes", "12"]
+        )
+        assert args.backend == "chord"
+        assert args.lifetime == 50.0
+
+
+class TestCommands:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_every_experiment_has_a_title(self):
+        assert set(EXPERIMENT_TITLES) == set(ALL_EXPERIMENTS)
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "E99"]) == 2
+
+    def test_run_executes_experiment(self, capsys):
+        assert main(["run", "e12"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinator death" in out
+
+    def test_churn_command_reports_metrics(self, capsys):
+        code = main(
+            ["churn", "--lifetime", "0", "--duration", "10", "--nodes", "10", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "violations:    0" in out

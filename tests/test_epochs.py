@@ -1,0 +1,69 @@
+"""Tests for epoch-based routing-cache freshness."""
+
+import pytest
+
+from repro.dht.ring import KeyRange
+from repro.group.info import GroupInfo
+
+from test_scatter_basic import build, make_client
+
+
+def info(gid, epoch, lo=0, hi=100, leader="x"):
+    return GroupInfo(gid=gid, range=KeyRange(lo, hi), members=(leader,), leader_hint=leader, epoch=epoch)
+
+
+class TestNodeCacheFreshness:
+    def test_newer_epoch_overwrites(self):
+        sim, net, system = build()
+        node = next(iter(system.nodes.values()))
+        node.learn(info("gx", epoch=1, leader="old"))
+        node.learn(info("gx", epoch=2, leader="new"))
+        assert node.cache["gx"].leader_hint == "new"
+
+    def test_stale_epoch_rejected(self):
+        sim, net, system = build()
+        node = next(iter(system.nodes.values()))
+        node.learn(info("gx", epoch=5, leader="fresh"))
+        node.learn(info("gx", epoch=2, leader="stale"))
+        assert node.cache["gx"].leader_hint == "fresh"
+
+    def test_equal_epoch_takes_latest(self):
+        sim, net, system = build()
+        node = next(iter(system.nodes.values()))
+        node.learn(info("gx", epoch=3, leader="a"))
+        node.learn(info("gx", epoch=3, leader="b"))
+        assert node.cache["gx"].leader_hint == "b"
+
+
+class TestClientCacheFreshness:
+    def test_stale_epoch_rejected(self):
+        sim, net, system = build()
+        client = make_client(sim, net, system)
+        client._learn(info("gx", epoch=9, leader="fresh"))
+        client._learn(info("gx", epoch=1, leader="stale"))
+        assert client.cache["gx"].leader_hint == "fresh"
+
+
+class TestEpochAdvances:
+    def test_config_change_bumps_epoch(self):
+        sim, net, system = build(n_nodes=6, n_groups=2)
+        gid = "g0"
+        leader = system.leader_of(gid)
+        e0 = leader.epoch
+        victim = [m for m in leader.members if m != leader.paxos.replica_id][0]
+        system.kill_node(victim)
+        sim.run_for(12.0)
+        leader = system.leader_of(gid)
+        assert leader.epoch > e0
+
+    def test_repartition_bumps_epoch(self):
+        from test_group_ops import build_manual
+
+        sim, net, system = build_manual(n_nodes=6, n_groups=2)
+        g0 = system.leader_of("g0")
+        e0 = g0.epoch
+        boundary = g0.range.hi - g0.range.size() // 4
+        fut = g0.host.start_repartition(g0, boundary)
+        sim.run_for(10.0)
+        assert fut.result() == "committed"
+        assert system.leader_of("g0").epoch > e0

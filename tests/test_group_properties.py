@@ -1,0 +1,122 @@
+"""Property-based tests of group-operation state transitions.
+
+These drive the deterministic apply logic (via the FakeHost from the
+unit tests) with hypothesis-generated keys and split points and check
+conservation laws: no key is lost, duplicated, or misplaced by a split,
+merge, or repartition.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.commands import Command
+from repro.dht.ring import KEY_SPACE, KeyRange
+from repro.group.commands import TxnCommitCmd
+from repro.group.info import GroupInfo
+from repro.store.kvstore import KvOp, OP_PUT
+from repro.txn.spec import GroupPlan, MergeSpec, RepartitionSpec, SplitSpec
+
+from test_group_replica_unit import FakeHost, apply_cmd, make_replica
+
+keys = st.sets(st.integers(0, KEY_SPACE - 1), min_size=1, max_size=25)
+
+
+@settings(max_examples=100, deadline=None)
+@given(stored=keys, split_point=st.integers(1, KEY_SPACE - 1))
+def test_split_conserves_keys(stored, split_point):
+    """Split of a full-ring group: halves exactly partition the keys."""
+    host = FakeHost()
+    _h, r = make_replica(host=host, lo=0, hi=0, members=("n0", "n1"))
+    for k in stored:
+        r.store.apply(KvOp(OP_PUT, k, f"v{k}"))
+    left_range, right_range = r.range.split_at(split_point)
+    spec = SplitSpec(
+        txn_id="t", coordinator_gid="g", coordinator_members=("n0", "n1"),
+        gid="g", split_key=split_point,
+        left=GroupPlan("gL", left_range, ("n0",), "n0"),
+        right=GroupPlan("gR", right_range, ("n1",), "n1"),
+        pred_gid=None, succ_gid=None,
+    )
+    status, _ = apply_cmd(r, "txn_prepare", spec)
+    assert status == "prepared"
+    status, _ = apply_cmd(r, "txn_commit", TxnCommitCmd(spec=spec, data={}))
+    assert status == "committed"
+    # host.node_id == n0 -> only gL's genesis was created locally; its
+    # keys must be exactly those in the left range.
+    created = {g.gid: g for g in host.created}
+    left_keys = set(created["gL"].kv.cells)
+    assert left_keys == {k for k in stored if left_range.contains(k)}
+    # The ranges partition everything.
+    for k in stored:
+        assert left_range.contains(k) != right_range.contains(k)
+
+
+@settings(max_examples=100, deadline=None)
+@given(left_keys=keys, right_keys=keys, boundary=st.integers(1, KEY_SPACE - 1))
+def test_merge_commit_unions_states(left_keys, right_keys, boundary):
+    """Merged genesis contains the union of both prepare snapshots."""
+    host = FakeHost()
+    right_info = GroupInfo(
+        gid="gR", range=KeyRange(boundary, 0), members=("x1",), leader_hint="x1"
+    )
+    _h, left = make_replica(host=host, lo=0, hi=boundary, members=("n0",), succ=right_info)
+    for k in left_keys:
+        if left.range.contains(k):
+            left.store.apply(KvOp(OP_PUT, k, ("L", k)))
+    spec = MergeSpec(
+        txn_id="t", coordinator_gid="g", coordinator_members=("n0",),
+        left_gid="g", right_gid="gR",
+        merged=GroupPlan("gM", KeyRange.full(), ("n0", "x1"), "n0"),
+        outer_pred_info=None, outer_succ_info=None,
+    )
+    status, left_snap = apply_cmd(left, "txn_prepare", spec)
+    assert status == "prepared"
+    # Simulate the right group's snapshot.
+    from repro.store.kvstore import KvStore
+
+    right_store = KvStore()
+    for k in right_keys:
+        if not left.range.contains(k):
+            right_store.apply(KvOp(OP_PUT, k, ("R", k)))
+    data = {"left_state": left_snap, "right_state": right_store.snapshot()}
+    status, _ = apply_cmd(left, "txn_commit", TxnCommitCmd(spec=spec, data=data))
+    assert status == "committed"
+    created = {g.gid: g for g in host.created}
+    merged_keys = set(created["gM"].kv.cells)
+    expected = {k for k in left_keys if KeyRange(0, boundary).contains(k)} | {
+        k for k in right_keys if not KeyRange(0, boundary).contains(k)
+    }
+    assert merged_keys == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    stored=keys,
+    data=st.data(),
+)
+def test_repartition_conserves_keys(stored, data):
+    """Donor keys beyond the new boundary move; the rest stay."""
+    host = FakeHost()
+    hi = KEY_SPACE // 2
+    right_info = GroupInfo(
+        gid="gR", range=KeyRange(hi, 0), members=("x1",), leader_hint="x1"
+    )
+    _h, r = make_replica(host=host, lo=0, hi=hi, members=("n0",), succ=right_info)
+    in_range = {k for k in stored if r.range.contains(k)}
+    for k in in_range:
+        r.store.apply(KvOp(OP_PUT, k, k))
+    boundary = data.draw(st.integers(1, hi - 1))
+    spec = RepartitionSpec(
+        txn_id="t", coordinator_gid="g", coordinator_members=("n0",),
+        left_gid="g", right_gid="gR", new_boundary=boundary, donor_gid="g",
+    )
+    status, moving = apply_cmd(r, "txn_prepare", spec)
+    assert status == "prepared"
+    status, _ = apply_cmd(r, "txn_commit", TxnCommitCmd(spec=spec, data={"moving_state": moving}))
+    assert status == "committed"
+    kept = set(r.store.keys())
+    moved = set(moving.cells)
+    assert kept | moved == in_range
+    assert kept & moved == set()
+    assert all(k < boundary for k in kept)
+    assert all(boundary <= k < hi for k in moved)

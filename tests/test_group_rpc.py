@@ -1,0 +1,112 @@
+"""Tests for the group_request leader-discovery helper."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.dht.ring import KeyRange
+from repro.dht.rpc import GroupUnreachable, group_request
+from repro.group.info import GroupInfo
+from repro.net import Node, spawn
+from repro.sim import ConstantLatency, SimNetwork, Simulator
+
+
+@dataclass(frozen=True)
+class Probe:
+    payload: str = "ping"
+
+
+@dataclass(frozen=True)
+class ProbeResp:
+    status: str
+    leader_hint: str | None = None
+
+
+class Member(Node):
+    """Configurable responder: answers with a scripted status."""
+
+    def __init__(self, node_id, sim, net, status="ok", hint=None):
+        super().__init__(node_id, sim, net)
+        self.status = status
+        self.hint = hint
+        self.served = 0
+        self.on(Probe, self._on_probe)
+
+    def _on_probe(self, src, msg):
+        self.served += 1
+        return ProbeResp(status=self.status, leader_hint=self.hint)
+
+
+def setup(statuses):
+    sim = Simulator(seed=1)
+    net = SimNetwork(sim, latency=ConstantLatency(0.005))
+    members = {}
+    for name, (status, hint) in statuses.items():
+        members[name] = Member(name, sim, net, status=status, hint=hint)
+    caller = Node("caller", sim, net)
+    info = GroupInfo(
+        gid="g",
+        range=KeyRange(0, 100),
+        members=tuple(statuses),
+        leader_hint=next(iter(statuses)),
+    )
+    return sim, caller, members, info
+
+
+def run_request(sim, caller, info, timeout=0.3):
+    future = spawn(sim, group_request(caller, info, lambda: Probe(), timeout=timeout))
+    sim.run_for(10.0)
+    return future
+
+
+class TestGroupRequest:
+    def test_leader_hint_first(self):
+        sim, caller, members, info = setup({"a": ("ok", None), "b": ("ok", None)})
+        future = run_request(sim, caller, info)
+        assert future.result().status == "ok"
+        assert members["a"].served == 1
+        assert members["b"].served == 0
+
+    def test_follows_not_leader_hint(self):
+        sim, caller, members, info = setup(
+            {"a": ("not_leader", "c"), "b": ("ok", None), "c": ("ok", None)}
+        )
+        future = run_request(sim, caller, info)
+        assert future.result().status == "ok"
+        assert members["c"].served == 1
+        assert members["b"].served == 0  # hint jumped the queue
+
+    def test_skips_dead_leader(self):
+        sim, caller, members, info = setup({"a": ("ok", None), "b": ("ok", None)})
+        members["a"].crash()
+        future = run_request(sim, caller, info)
+        assert future.result().status == "ok"
+        assert members["b"].served == 1
+
+    def test_all_dead_raises_unreachable(self):
+        sim, caller, members, info = setup({"a": ("ok", None), "b": ("ok", None)})
+        for m in members.values():
+            m.crash()
+        future = run_request(sim, caller, info)
+        with pytest.raises(GroupUnreachable):
+            future.result()
+
+    def test_hint_loop_terminates(self):
+        # a says "b is leader", b says "a is leader": both get tried once,
+        # then the helper gives up instead of ping-ponging.
+        sim, caller, members, info = setup(
+            {"a": ("not_leader", "b"), "b": ("not_leader", "a")}
+        )
+        future = run_request(sim, caller, info)
+        with pytest.raises(GroupUnreachable):
+            future.result()
+        assert members["a"].served == 1
+        assert members["b"].served == 1
+
+    def test_substantive_non_ok_response_returned(self):
+        # Statuses other than not_leader (busy, refused, moved) are the
+        # caller's problem; the helper must hand them back, not retry.
+        sim, caller, members, info = setup({"a": ("busy", None), "b": ("ok", None)})
+        future = run_request(sim, caller, info)
+        assert future.result().status == "busy"
+        assert members["b"].served == 0

@@ -1,0 +1,139 @@
+"""Tests for the harness: results rendering, metrics, builders, stats."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import cdf_points, mean, percentile, summarize_latencies
+from repro.dht.client import OpRecord
+from repro.harness import (
+    DeploymentParams,
+    ExperimentResult,
+    build_chord_deployment,
+    build_scatter_deployment,
+    format_table,
+    workload_metrics,
+)
+from repro.store.kvstore import KvResult
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert math.isnan(mean([]))
+
+    def test_percentile_interpolates(self):
+        values = [0, 10, 20, 30, 40]
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 40
+        assert percentile(values, 50) == 20
+        assert percentile(values, 25) == 10
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentile_empty_and_single(self):
+        assert math.isnan(percentile([], 50))
+        assert percentile([7], 99) == 7
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points(list(range(100)), n_points=10)
+        values = [v for v, _f in points]
+        fracs = [f for _v, f in points]
+        assert values == sorted(values)
+        assert fracs[-1] == 1.0
+
+    def test_summarize(self):
+        summary = summarize_latencies([0.01, 0.02, 0.03, -1.0])
+        assert summary["count"] == 3  # negative (unresolved) dropped
+        assert summary["p50"] == 0.02
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        r = ExperimentResult("EX", "title", ["a", "b"])
+        r.add(a=1, b=2)
+        r.add(a=3, b=4)
+        assert r.column("a") == [1, 3]
+
+    def test_render_contains_all_cells(self):
+        r = ExperimentResult("EX", "My Table", ["x", "value"])
+        r.add(x="row1", value=3.14159)
+        text = r.render()
+        assert "My Table" in text
+        assert "row1" in text
+        assert "3.142" in text
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["col"], [{"col": "v"}], notes="hello")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "hello" in lines[-1]
+
+    def test_number_formatting(self):
+        text = format_table("T", ["n"], [{"n": 1234567.0}, {"n": 0.00001}, {"n": 0}])
+        assert "1,234,567" in text
+        assert "1.00e-05" in text
+
+
+def record(op, key, inv, resp, ok=True, value=None, error=None, hops=1):
+    r = OpRecord(op=op, key=key, value=value, invoke_time=inv)
+    r.response_time = resp
+    r.result = KvResult(ok=ok, value=value if op == "get" else None, error=error)
+    r.hops = hops
+    return r
+
+
+class TestWorkloadMetrics:
+    def test_availability_counts_not_found_as_answered(self):
+        records = [
+            record("get", 1, 0, 0.01, ok=False, error="not_found"),
+            record("get", 1, 0, 8.0, ok=False, error="timeout"),
+        ]
+        m = workload_metrics(records)
+        assert m["ops"] == 2
+        assert m["completed"] == 1
+        assert m["availability"] == 0.5
+
+    def test_window_filters_ops_but_keeps_writes_for_checking(self):
+        records = [
+            record("put", 1, 0.0, 0.1, value="v"),
+            record("get", 1, 5.0, 5.1, value="v"),
+        ]
+        m = workload_metrics(records, window=(4.0, 10.0))
+        assert m["ops"] == 1  # only the windowed read
+        assert m["violations"] == 0  # pre-window write is visible to checker
+
+    def test_latency_percentiles(self):
+        records = [record("get", 1, 0, 0.010), record("get", 1, 0, 0.030)]
+        m = workload_metrics(records)
+        assert 0.010 <= m["latency_p50"] <= 0.030
+
+    def test_empty_records(self):
+        m = workload_metrics([])
+        assert math.isnan(m["availability"])
+
+
+class TestBuilders:
+    def test_scatter_deployment_is_ready(self):
+        deployment = build_scatter_deployment(
+            DeploymentParams(n_nodes=6, n_groups=2, n_clients=2, seed=1)
+        )
+        assert deployment.system.group_count() == 2
+        assert len(deployment.clients) == 2
+        for gid in deployment.system.active_groups():
+            assert deployment.system.leader_of(gid) is not None
+
+    def test_chord_deployment_is_ready(self):
+        deployment = build_chord_deployment(
+            DeploymentParams(n_nodes=6, n_groups=2, n_clients=1, seed=1)
+        )
+        assert len(deployment.system.alive_node_ids()) == 6
+
+    def test_deterministic_builds(self):
+        a = build_scatter_deployment(DeploymentParams(n_nodes=6, n_groups=2, seed=5))
+        b = build_scatter_deployment(DeploymentParams(n_nodes=6, n_groups=2, seed=5))
+        leaders_a = {g: a.system.leader_of(g).paxos.replica_id for g in a.system.active_groups()}
+        leaders_b = {g: b.system.leader_of(g).paxos.replica_id for g in b.system.active_groups()}
+        assert leaders_a == leaders_b

@@ -1,0 +1,88 @@
+"""Tests for leadership transfer (the latency policy's mechanism)."""
+
+import pytest
+
+from repro.consensus import Command, PaxosConfig
+from repro.consensus.harness import build_cluster, current_leader
+from repro.sim import ConstantLatency, SimNetwork, Simulator
+
+FAST = PaxosConfig(
+    heartbeat_interval=0.1,
+    election_timeout=0.5,
+    lease_duration=0.35,
+    retry_interval=0.3,
+)
+
+
+def make_cluster(n=3, seed=0):
+    sim = Simulator(seed=seed)
+    net = SimNetwork(sim, latency=ConstantLatency(0.005))
+    hosts = build_cluster(sim, net, n=n, config=FAST)
+    sim.run_for(1.0)
+    return sim, net, hosts
+
+
+class TestTransferLeadership:
+    def test_transfer_moves_leadership(self):
+        sim, net, hosts = make_cluster()
+        assert hosts[0].replica.transfer_leadership("n1")
+        sim.run_for(2.0)
+        leader = current_leader(hosts)
+        assert leader is hosts[1]
+
+    def test_new_leader_serves_after_transfer(self):
+        sim, net, hosts = make_cluster()
+        hosts[0].replica.transfer_leadership("n2")
+        sim.run_for(2.0)
+        f = hosts[2].propose(Command.app("after-transfer"))
+        sim.run_for(2.0)
+        assert f.result() == "after-transfer"
+
+    def test_transfer_refused_with_pending_proposals(self):
+        sim, net, hosts = make_cluster()
+        hosts[0].propose(Command.app("inflight"))  # not yet committed
+        assert not hosts[0].replica.transfer_leadership("n1")
+        assert hosts[0].replica.is_leader
+
+    def test_transfer_to_self_refused(self):
+        sim, net, hosts = make_cluster()
+        assert not hosts[0].replica.transfer_leadership("n0")
+
+    def test_transfer_to_nonmember_refused(self):
+        sim, net, hosts = make_cluster()
+        assert not hosts[0].replica.transfer_leadership("ghost")
+
+    def test_follower_cannot_transfer(self):
+        sim, net, hosts = make_cluster()
+        assert not hosts[1].replica.transfer_leadership("n2")
+
+    def test_transfer_preserves_committed_state(self):
+        sim, net, hosts = make_cluster()
+        f = hosts[0].propose(Command.app("before"))
+        sim.run_for(1.0)
+        assert f.result() == "before"
+        hosts[0].replica.transfer_leadership("n1")
+        sim.run_for(2.0)
+        f2 = hosts[1].propose(Command.app("after"))
+        sim.run_for(2.0)
+        assert f2.result() == "after"
+        payloads = [c.payload for _s, c in hosts[1].applied if c.kind == "app"]
+        assert payloads == ["before", "after"]
+
+    def test_lease_reads_resume_at_new_leader(self):
+        sim, net, hosts = make_cluster()
+        hosts[0].replica.transfer_leadership("n1")
+        sim.run_for(3.0)
+        assert hosts[1].replica.lease_active
+        f = hosts[1].replica.read(lambda: "leased")
+        assert f.done and f.result() == "leased"
+
+    def test_chain_of_transfers(self):
+        sim, net, hosts = make_cluster(n=5)
+        order = ["n1", "n2", "n3"]
+        for target in order:
+            leader = current_leader(hosts)
+            assert leader is not None
+            assert leader.replica.transfer_leadership(target)
+            sim.run_for(2.5)
+        assert current_leader(hosts) is hosts[3]

@@ -1,0 +1,150 @@
+"""Property-based tests of Paxos safety invariants.
+
+These drive the pure single-decree roles through random interleavings of
+prepares and accepts and assert the one property everything above relies
+on: once a value is chosen, no other value is ever chosen.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import Acceptor, Proposer
+from repro.sim import Simulator
+from repro.sim.events import EventQueue
+
+ACCEPTOR_IDS = ["a0", "a1", "a2", "a3", "a4"]
+
+
+def run_scenario(n_acceptors, proposals, schedule):
+    """Run proposals against shared acceptors under a random schedule.
+
+    ``proposals`` is a list of (round, proposer_id, value).
+    ``schedule`` is a list of indices choosing which proposer advances.
+    Each advance performs that proposer's next protocol step against the
+    acceptors it has not yet contacted, in acceptor order.  Returns the
+    set of values ever chosen.
+    """
+    acceptors = {aid: Acceptor() for aid in ACCEPTOR_IDS[:n_acceptors]}
+    quorum = n_acceptors // 2 + 1
+    proposers = []
+    contact_plan = []
+    for round_num, pid, value in proposals:
+        proposers.append(Proposer((round_num, pid), quorum, value))
+        contact_plan.append(list(acceptors))
+    chosen = set()
+    progress = [0] * len(proposers)  # next acceptor index for current phase
+    phase_mark = [1] * len(proposers)
+
+    for pick in schedule:
+        i = pick % len(proposers)
+        p = proposers[i]
+        if p.phase == 3:
+            continue
+        if phase_mark[i] != p.phase:
+            # Phase advanced since last step: restart acceptor sweep.
+            phase_mark[i] = p.phase
+            progress[i] = 0
+        if progress[i] >= len(contact_plan[i]):
+            continue
+        aid = contact_plan[i][progress[i]]
+        progress[i] += 1
+        acc = acceptors[aid]
+        if p.phase == 1:
+            p.on_promise(aid, acc.on_prepare(p.ballot))
+        elif p.phase == 2:
+            if p.on_accepted(aid, acc.on_accept(p.ballot, p.phase2_value)):
+                chosen.add(p.chosen_value)
+    # Exhaustively finish every proposer to surface late choices.
+    for i, p in enumerate(proposers):
+        for aid in contact_plan[i]:
+            if p.phase == 1:
+                p.on_promise(aid, acceptors[aid].on_prepare(p.ballot))
+        for aid in contact_plan[i]:
+            if p.phase == 2:
+                if p.on_accepted(aid, acceptors[aid].on_accept(p.ballot, p.phase2_value)):
+                    chosen.add(p.chosen_value)
+    return chosen
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    n_acceptors=st.sampled_from([3, 5]),
+    rounds=st.lists(
+        st.tuples(st.integers(1, 6), st.sampled_from(["p1", "p2", "p3"])),
+        min_size=1,
+        max_size=4,
+        unique=True,
+    ),
+    schedule=st.lists(st.integers(0, 11), max_size=40),
+)
+def test_at_most_one_value_chosen(n_acceptors, rounds, schedule):
+    proposals = [(r, pid, f"value-of-{pid}@{r}") for r, pid in rounds]
+    chosen = run_scenario(n_acceptors, proposals, schedule)
+    assert len(chosen) <= 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rounds=st.lists(
+        st.tuples(st.integers(1, 6), st.sampled_from(["p1", "p2"])),
+        min_size=2,
+        max_size=4,
+        unique=True,
+    ),
+    schedule=st.lists(st.integers(0, 11), max_size=30),
+)
+def test_chosen_value_was_proposed(rounds, schedule):
+    proposals = [(r, pid, f"v{r}:{pid}") for r, pid in rounds]
+    chosen = run_scenario(3, proposals, schedule)
+    valid = {f"v{r}:{pid}" for r, pid in rounds}
+    assert chosen <= valid
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["prepare", "accept"]), st.integers(1, 8)),
+        max_size=30,
+    )
+)
+def test_acceptor_promise_is_monotonic(ops):
+    acc = Acceptor()
+    high = (0, "")
+    for kind, round_num in ops:
+        ballot = (round_num, "p")
+        if kind == "prepare":
+            acc.on_prepare(ballot)
+        else:
+            acc.on_accept(ballot, f"v{round_num}")
+        assert acc.promised >= high
+        high = acc.promised
+        if acc.accepted_ballot is not None:
+            assert acc.accepted_ballot <= acc.promised
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50),
+    seed=st.integers(0, 2**16),
+)
+def test_event_queue_pops_in_nondecreasing_time_order(delays, seed):
+    q = EventQueue()
+    for d in delays:
+        q.push(d, lambda: None)
+    last = -1.0
+    while (e := q.pop()) is not None:
+        assert e.time >= last
+        last = e.time
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=30),
+)
+def test_simulator_clock_never_goes_backwards(delays):
+    sim = Simulator()
+    observed = []
+    for d in delays:
+        sim.schedule(d, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)

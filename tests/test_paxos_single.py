@@ -1,0 +1,174 @@
+"""Unit tests for single-decree Paxos roles and the log."""
+
+import pytest
+
+from repro.consensus import Acceptor, Command, LogEntry, PaxosLog, Proposer
+
+
+class TestAcceptor:
+    def test_promises_higher_ballot(self):
+        a = Acceptor()
+        reply = a.on_prepare((1, "p1"))
+        assert reply.ok
+        assert reply.accepted_ballot is None
+
+    def test_rejects_stale_prepare(self):
+        a = Acceptor()
+        a.on_prepare((2, "p2"))
+        reply = a.on_prepare((1, "p1"))
+        assert not reply.ok
+        assert reply.promised == (2, "p2")
+
+    def test_rejects_equal_prepare(self):
+        a = Acceptor()
+        a.on_prepare((1, "p1"))
+        assert not a.on_prepare((1, "p1")).ok
+
+    def test_accept_below_promise_rejected(self):
+        a = Acceptor()
+        a.on_prepare((5, "p5"))
+        reply = a.on_accept((3, "p3"), "v")
+        assert not reply.ok
+        assert a.accepted_value is None
+
+    def test_accept_at_promise_succeeds(self):
+        a = Acceptor()
+        a.on_prepare((5, "p5"))
+        assert a.on_accept((5, "p5"), "v").ok
+        assert a.accepted_value == "v"
+
+    def test_accept_above_promise_raises_promise(self):
+        a = Acceptor()
+        a.on_accept((7, "p7"), "v")
+        assert a.promised == (7, "p7")
+        assert not a.on_prepare((6, "p6")).ok
+
+    def test_promise_reports_accepted_value(self):
+        a = Acceptor()
+        a.on_accept((1, "p1"), "old")
+        reply = a.on_prepare((2, "p2"))
+        assert reply.ok
+        assert reply.accepted_ballot == (1, "p1")
+        assert reply.accepted_value == "old"
+
+
+class TestProposer:
+    def test_fresh_value_when_no_prior_accepts(self):
+        p = Proposer(ballot=(1, "a"), quorum_size=2, value="mine")
+        a1, a2 = Acceptor(), Acceptor()
+        assert not p.on_promise("a1", a1.on_prepare(p.ballot))
+        assert p.on_promise("a2", a2.on_prepare(p.ballot))
+        assert p.phase2_value == "mine"
+
+    def test_adopts_highest_prior_accept(self):
+        p = Proposer(ballot=(5, "a"), quorum_size=2, value="mine")
+        a1, a2 = Acceptor(), Acceptor()
+        a1.on_accept((1, "x"), "older")
+        a2.on_accept((3, "y"), "newer")
+        p.on_promise("a1", a1.on_prepare(p.ballot))
+        p.on_promise("a2", a2.on_prepare(p.ballot))
+        assert p.phase2_value == "newer"
+
+    def test_chooses_after_quorum_accepts(self):
+        p = Proposer(ballot=(1, "a"), quorum_size=2, value="v")
+        acceptors = {f"a{i}": Acceptor() for i in range(3)}
+        for name, acc in acceptors.items():
+            p.on_promise(name, acc.on_prepare(p.ballot))
+        chosen = False
+        for name, acc in acceptors.items():
+            if p.on_accepted(name, acc.on_accept(p.ballot, p.phase2_value)):
+                chosen = True
+        assert chosen
+        assert p.chosen_value == "v"
+
+    def test_rejected_promises_dont_count(self):
+        p = Proposer(ballot=(1, "a"), quorum_size=2, value="v")
+        stale = Acceptor()
+        stale.on_prepare((9, "z"))
+        assert not p.on_promise("s", stale.on_prepare(p.ballot))
+        assert p.phase == 1
+
+    def test_phase2_value_before_quorum_raises(self):
+        p = Proposer(ballot=(1, "a"), quorum_size=2, value="v")
+        with pytest.raises(RuntimeError):
+            _ = p.phase2_value
+
+    def test_quorum_size_validation(self):
+        with pytest.raises(ValueError):
+            Proposer(ballot=(1, "a"), quorum_size=0, value="v")
+
+    def test_duplicate_accepts_not_double_counted(self):
+        p = Proposer(ballot=(1, "a"), quorum_size=2, value="v")
+        a1 = Acceptor()
+        a2 = Acceptor()
+        p.on_promise("a1", a1.on_prepare(p.ballot))
+        p.on_promise("a2", a2.on_prepare(p.ballot))
+        reply = a1.on_accept(p.ballot, p.phase2_value)
+        assert not p.on_accepted("a1", reply)
+        assert not p.on_accepted("a1", reply)  # same acceptor again
+        assert p.chosen_value is None
+
+
+class TestPaxosLog:
+    def test_commit_index_advances_contiguously(self):
+        log = PaxosLog()
+        log.mark_chosen(0, "a")
+        assert log.commit_index == 0
+        log.mark_chosen(2, "c")
+        assert log.commit_index == 0
+        log.mark_chosen(1, "b")
+        assert log.commit_index == 2
+
+    def test_chosen_value_immutable(self):
+        log = PaxosLog()
+        log.mark_chosen(0, "a")
+        log.mark_chosen(0, "a")  # idempotent
+        with pytest.raises(AssertionError):
+            log.mark_chosen(0, "b")
+
+    def test_chosen_value_lookup(self):
+        log = PaxosLog()
+        log.mark_chosen(0, "a")
+        assert log.chosen_value(0) == "a"
+        with pytest.raises(KeyError):
+            log.chosen_value(1)
+
+    def test_accepted_from(self):
+        log = PaxosLog()
+        for slot in (1, 3, 5):
+            e = log.entry(slot)
+            e.accepted_ballot = (1, "x")
+            e.accepted_value = f"v{slot}"
+        assert [s for s, _b, _v in log.accepted_from(2)] == [3, 5]
+        assert [s for s, _b, _v in log.accepted_from(0)] == [1, 3, 5]
+
+    def test_chosen_range(self):
+        log = PaxosLog()
+        log.mark_chosen(0, "a")
+        log.mark_chosen(1, "b")
+        log.mark_chosen(3, "d")
+        assert log.chosen_range(0, 3) == [(0, "a"), (1, "b"), (3, "d")]
+
+    def test_max_slot(self):
+        log = PaxosLog()
+        assert log.max_slot == -1
+        log.entry(7).accepted_ballot = (1, "x")
+        assert log.max_slot == 7
+
+    def test_entry_default(self):
+        e = LogEntry()
+        assert not e.chosen
+        assert e.accepted_ballot is None
+
+
+class TestCommand:
+    def test_constructors(self):
+        assert Command.noop().kind == "noop"
+        c = Command.config("add", "n9")
+        assert c.payload.member == "n9"
+        a = Command.app({"op": "put"}, dedup=("c1", 3))
+        assert a.dedup == ("c1", 3)
+
+    def test_bad_config_action_rejected(self):
+        with pytest.raises(ValueError):
+            Command.config("replace", "n1")

@@ -1,0 +1,167 @@
+"""Unit tests for the event queue and simulator loop."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_order_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, fired.append, ("b",))
+        q.push(1.0, fired.append, ("a",))
+        q.push(3.0, fired.append, ("c",))
+        while (e := q.pop()) is not None:
+            e.fn(*e.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.push(1.0, order.append, (i,))
+        while (e := q.pop()) is not None:
+            e.fn(*e.args)
+        assert order == list(range(10))
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        fired = []
+        h = q.push(1.0, fired.append, ("x",))
+        q.push(2.0, fired.append, ("y",))
+        h.cancel()
+        assert len(q) == 1
+        while (e := q.pop()) is not None:
+            e.fn(*e.args)
+        assert fired == ["y"]
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert len(q) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        h.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert len(q) == 0
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_leaves_later_events_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run_until(2.0)
+        assert fired == ["early"]
+        assert sim.pending_events == 1
+        sim.run_until(6.0)
+        assert fired == ["early", "late"]
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.run_until(3.0)
+        sim.run_for(2.0)
+        assert sim.now == 5.0
+
+    def test_nested_scheduling_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.0]
+
+    def test_rng_streams_are_independent_and_deterministic(self):
+        sim_a = Simulator(seed=42)
+        sim_b = Simulator(seed=42)
+        # Create streams in different orders: values must match anyway.
+        a_churn = [sim_a.rng("churn").random() for _ in range(5)]
+        a_net = [sim_a.rng("net").random() for _ in range(5)]
+        b_net = [sim_b.rng("net").random() for _ in range(5)]
+        b_churn = [sim_b.rng("churn").random() for _ in range(5)]
+        assert a_churn == b_churn
+        assert a_net == b_net
+        assert a_churn != a_net
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).rng("x").random()
+        b = Simulator(seed=2).rng("x").random()
+        assert a != b
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1.0, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4

@@ -1,0 +1,79 @@
+"""Tests for synthetic session traces and trace replay."""
+
+import pytest
+
+from repro.dht.system import ScatterSystem
+from repro.policies import ScatterPolicy
+from repro.sim import ConstantLatency, SimNetwork, Simulator
+from repro.workloads.traces import SessionEvent, TraceChurn, synthesize_trace, trace_stats
+
+from test_scatter_basic import fast_config
+
+
+class TestSynthesis:
+    def test_median_session_close_to_target(self):
+        events = synthesize_trace(duration=5000, median_session=200, arrival_rate=0.5, seed=1)
+        stats = trace_stats(events)
+        assert stats["sessions"] > 1000
+        assert 150 < stats["median_session"] < 260
+
+    def test_deterministic(self):
+        a = synthesize_trace(duration=100, seed=9)
+        b = synthesize_trace(duration=100, seed=9)
+        assert a == b
+        c = synthesize_trace(duration=100, seed=10)
+        assert a != c
+
+    def test_diurnal_concentrates_arrivals_mid_trace(self):
+        events = synthesize_trace(
+            duration=1000, arrival_rate=0.5, diurnal=True, seed=2
+        )
+        mid = [e for e in events if 250 < e.start < 750]
+        edges = [e for e in events if e.start <= 250 or e.start >= 750]
+        assert len(mid) > len(edges)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(duration=0)
+        with pytest.raises(ValueError):
+            SessionEvent(start=5, end=5)
+
+    def test_stats_peak_concurrency(self):
+        events = [SessionEvent(0, 10), SessionEvent(1, 5), SessionEvent(20, 30)]
+        assert trace_stats(events)["peak_concurrent"] == 2
+
+    def test_stats_empty(self):
+        assert trace_stats([])["sessions"] == 0
+
+
+class TestReplay:
+    def test_trace_replay_drives_membership(self):
+        sim = Simulator(seed=3)
+        net = SimNetwork(sim, latency=ConstantLatency(0.004))
+        system = ScatterSystem.build(
+            sim, net, n_nodes=10, n_groups=2, config=fast_config(),
+            policy=ScatterPolicy(target_size=5, split_size=12, merge_size=2),
+        )
+        sim.run_for(2.0)
+        events = [
+            SessionEvent(start=1.0, end=20.0),
+            SessionEvent(start=2.0, end=8.0),
+            SessionEvent(start=5.0, end=40.0),
+        ]
+        churn = TraceChurn(sim, system, events)
+        churn.start()
+        sim.run_for(50.0)
+        assert churn.arrivals == 3
+        assert churn.departures == 3
+        assert system.group_count() >= 1
+
+    def test_stop_cancels_future_events(self):
+        sim = Simulator(seed=4)
+        net = SimNetwork(sim, latency=ConstantLatency(0.004))
+        system = ScatterSystem.build(sim, net, n_nodes=6, n_groups=2, config=fast_config())
+        sim.run_for(1.0)
+        churn = TraceChurn(sim, system, [SessionEvent(start=100.0, end=120.0)])
+        churn.start()
+        churn.stop()
+        sim.run_for(150.0)
+        assert churn.arrivals == 0
