@@ -1,0 +1,25 @@
+"""E16: gray failures and asymmetric partitions vs clean crashes.
+
+Scatter must stay linearizable and recover promptly under every nemesis
+scenario; the Chord baseline is allowed to go inconsistent (that is the
+paper's motivation).  Gray failures degrade latency without tripping
+failure detectors — slower than clean crashes but never unsafe.
+"""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e16
+
+
+def test_e16_gray_failure(benchmark):
+    result = run_once(benchmark, lambda: run_e16(quick=True))
+    save_result(result)
+    scatter = [r for r in result.rows if r["backend"] == "scatter"]
+    assert len(scatter) >= 3, "at least three nemesis scenarios"
+    # Safety: Scatter never violates linearizability, whatever the nemesis.
+    assert all(r["violations"] == 0 for r in scatter), "scatter must stay linearizable"
+    # Liveness: Scatter resumes serving within the recovery cap after the
+    # final heal, in every scenario.
+    assert all(r["recovery_s"] < 20.0 for r in scatter), "scatter must recover"
+    # Availability stays practical under faults (ops keep completing).
+    assert all(r["availability"] > 0.8 for r in scatter)
+    assert all(r["ops"] > 100 for r in scatter), "workload actually ran"

@@ -11,3 +11,13 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    # Also registered in pyproject.toml; repeated here so the marker is
+    # known even when pytest is invoked without that ini in scope.
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-seed fault schedules and other long runs "
+        "(deselect with -m 'not slow')",
+    )

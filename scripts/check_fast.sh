@@ -1,0 +1,7 @@
+#!/bin/sh
+# Fast tier-1 check: the full test suite minus tests marked `slow`
+# (multi-seed nemesis schedules and other long runs).  Use the plain
+# `PYTHONPATH=src python -m pytest -x -q` invocation for the full tier.
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -x -q -m "not slow" "$@"

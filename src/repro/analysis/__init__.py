@@ -1,4 +1,4 @@
-"""Consistency checking and statistics over operation histories."""
+"""Consistency checking, liveness watchdog, and statistics over histories."""
 
 from repro.analysis.linearizability import (
     CheckResult,
@@ -6,10 +6,13 @@ from repro.analysis.linearizability import (
     check_key_history,
     wing_gong_check,
 )
+from repro.analysis.liveness import LivenessWatchdog, Stall
 from repro.analysis.stats import cdf_points, mean, percentile, summarize_latencies
 
 __all__ = [
     "CheckResult",
+    "LivenessWatchdog",
+    "Stall",
     "cdf_points",
     "check_history",
     "check_key_history",

@@ -1,0 +1,137 @@
+"""Liveness watchdog: detect progress stalls in a running simulation.
+
+Safety checks (linearizability, agreement) pass trivially on a system
+that has wedged — no operations, no violations.  The watchdog closes
+that hole: it samples a monotonic *progress probe* (completed client
+ops, summed commit indexes, applied-log length, ...) on a timer and
+records every window of simulated time longer than ``window`` in which
+the probe did not advance.  Fault tests can then assert *recovery* —
+"the system stalled during the partition but resumed within N seconds
+of the heal" — instead of safety alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.loop import Simulator
+
+
+@dataclass(frozen=True)
+class Stall:
+    """One interval with no observed progress.
+
+    ``start`` is the time of the last progress before the stall;
+    ``end`` is when progress was next observed (or the watchdog
+    stopped).  ``open`` marks a stall still unresolved at stop time.
+    """
+
+    start: float
+    end: float
+    open: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class LivenessWatchdog:
+    """Samples a progress probe and records stalls.
+
+    ``probe`` must be monotonically non-decreasing (a counter).  The
+    watchdog polls every ``check_interval`` (default ``window / 4``),
+    so stall boundaries are accurate to one poll interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        window: float = 5.0,
+        check_interval: float | None = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.sim = sim
+        self.probe = probe
+        self.window = window
+        self.check_interval = check_interval if check_interval is not None else window / 4
+        self.stalls: list[Stall] = []
+        self.running = False
+        self._last_value: float | None = None
+        self._last_progress = 0.0
+        self._in_stall = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._last_value = self.probe()
+        self._last_progress = self.sim.now
+        self._in_stall = False
+        self.sim.schedule(self.check_interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling; an unresolved stall is recorded as open."""
+        if not self.running:
+            return
+        self.running = False
+        self._check_now()
+        if self._in_stall:
+            self.stalls.append(Stall(self._last_progress, self.sim.now, open=True))
+            self._in_stall = False
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self._check_now()
+        self.sim.schedule(self.check_interval, self._tick)
+
+    def _check_now(self) -> None:
+        value = self.probe()
+        now = self.sim.now
+        if self._last_value is None or value > self._last_value:
+            if self._in_stall:
+                self.stalls.append(Stall(self._last_progress, now))
+                self._in_stall = False
+            self._last_value = value
+            self._last_progress = now
+        elif not self._in_stall and now - self._last_progress >= self.window:
+            self._in_stall = True
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def stalled_now(self) -> bool:
+        return self._in_stall
+
+    @property
+    def stall_count(self) -> int:
+        return len(self.stalls)
+
+    @property
+    def max_stall(self) -> float:
+        return max((s.duration for s in self.stalls), default=0.0)
+
+    @property
+    def total_stalled(self) -> float:
+        return sum(s.duration for s in self.stalls)
+
+    @property
+    def unrecovered(self) -> bool:
+        """Did the run end inside a stall (no recovery observed)?"""
+        return any(s.open for s in self.stalls)
+
+    def assert_recovered(self) -> None:
+        """Raise AssertionError if the final stall never resolved."""
+        if self.unrecovered:
+            last = self.stalls[-1]
+            raise AssertionError(
+                f"liveness: no progress since t={last.start:.3f} "
+                f"({last.duration:.3f}s stalled at stop)"
+            )

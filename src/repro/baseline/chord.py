@@ -184,6 +184,11 @@ class ChordNode(Node):
             self._rng.uniform(0, self.config.stabilize_interval), self._check_pred_tick
         )
 
+    def on_restart(self) -> None:
+        # crash() cancelled the maintenance timers; resume them so a
+        # restarted node rejoins stabilization instead of going zombie.
+        self.start()
+
     def _check_pred_tick(self) -> None:
         """Clear a dead predecessor so stale pointers stop circulating."""
         pred = self.predecessor

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run E2 E11 --full --seed 7
     python -m repro churn --backend scatter --lifetime 120 --duration 90
+    python -m repro nemesis gray_failure --backend scatter --duration 60
 """
 
 from __future__ import annotations
@@ -13,7 +14,13 @@ import argparse
 import sys
 import time
 
-from repro.harness.experiments import ALL_EXPERIMENTS, EXPERIMENT_TITLES, _churn_run
+from repro.faults.scenarios import SCENARIOS, scenario_names
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    EXPERIMENT_TITLES,
+    _churn_run,
+    _nemesis_run,
+)
 from repro.harness.builders import DeploymentParams
 
 
@@ -67,6 +74,33 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_nemesis(args: argparse.Namespace) -> int:
+    if args.scenario is None or args.scenario == "list":
+        for name in scenario_names():
+            print(f"{name:>22}  {SCENARIOS[name].description}")
+        return 0
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(scenario_names())
+        print(f"unknown scenario {args.scenario!r}; known: {known}", file=sys.stderr)
+        return 2
+    params = DeploymentParams(
+        n_nodes=args.nodes, n_groups=max(1, args.nodes // 5), n_clients=3, seed=args.seed
+    )
+    metrics = _nemesis_run(args.backend, args.scenario, args.duration, params)
+    print(f"scenario:      {args.scenario}")
+    print(f"backend:       {args.backend}")
+    print(f"nodes:         {args.nodes}  seed: {args.seed}  duration: {args.duration}s")
+    print(f"fault events:  {metrics['fault_events']}")
+    print(f"ops:           {metrics['ops']}")
+    print(f"availability:  {metrics['availability']:.4f}")
+    print(f"p50 latency:   {1000 * metrics['latency_p50']:.1f} ms")
+    print(f"violations:    {metrics['violations']}")
+    print(f"stalls:        {metrics['stalls']}  (max {metrics['max_stall_s']:.2f} s)")
+    recovered = "yes" if metrics["recovered"] else "NO (capped)"
+    print(f"recovery:      {metrics['recovery_s']:.2f} s after heal  recovered: {recovered}")
+    return 0 if metrics["recovered"] and metrics["violations"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,6 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_churn.add_argument("--nodes", type=int, default=20)
     p_churn.add_argument("--seed", type=int, default=1)
     p_churn.set_defaults(fn=_cmd_churn)
+
+    p_nem = sub.add_parser(
+        "nemesis", help="run a named fault scenario against a live deployment"
+    )
+    p_nem.add_argument("scenario", nargs="?", default=None,
+                       help="scenario name (omit or 'list' to list scenarios)")
+    p_nem.add_argument("--backend", choices=["scatter", "chord"], default="scatter")
+    p_nem.add_argument("--nodes", type=int, default=20)
+    p_nem.add_argument("--duration", type=float, default=40.0)
+    p_nem.add_argument("--seed", type=int, default=1)
+    p_nem.set_defaults(fn=_cmd_nemesis)
     return parser
 
 

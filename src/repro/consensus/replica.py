@@ -53,6 +53,7 @@ from repro.consensus.messages import (
 from repro.consensus.single import BALLOT_ZERO, Ballot
 from repro.consensus.transport import Transport
 from repro.net.futures import Future
+from repro.net.retry import decorrelated_jitter
 
 
 class NotLeader(Exception):
@@ -76,6 +77,12 @@ class PaxosConfig:
     lease_duration: float = 0.8
     lease_reads: bool = True
     retry_interval: float = 0.5
+    # Ceiling for the decorrelated-jitter backoff on Accept
+    # retransmissions: consecutive unfruitful retry rounds grow from
+    # retry_interval toward retry_cap, and any commit progress resets the
+    # delay.  Keeps stalled leaders from retrying in lockstep under fault
+    # storms without slowing the first retransmission.
+    retry_cap: float = 2.0
     catchup_batch: int = 200
     # Compact the log once this many applied entries accumulate beyond
     # the last snapshot; 0 disables compaction.
@@ -157,6 +164,7 @@ class PaxosReplica:
         self._lease_until = -1.0
         self._hb_acks: dict[float, set[str]] = {}
         self.member_last_ack: dict[str, float] = {}
+        self._retry_delay: float | None = None
 
         # Batching state (leader only).
         self._batch_buffer: list[tuple[Command, Future]] = []
@@ -191,6 +199,7 @@ class PaxosReplica:
         self._read_barrier_slot = None
         self._lease_until = -1.0
         self._hb_acks.clear()
+        self._retry_delay = None
         self._backlog = []
         for future in self._proposal_futures.values():
             future.set_exception(fail_with)
@@ -585,6 +594,7 @@ class PaxosReplica:
         pending.acks.add(src)
         if len(pending.acks) >= self._majority():
             del self._pending[msg.slot]
+            self._retry_delay = None
             self.log.mark_chosen(msg.slot, pending.command)
             self._apply_committed()
             if self._barrier_slot == msg.slot:
@@ -613,6 +623,23 @@ class PaxosReplica:
         if not self.is_leader or self.ballot != ballot or self.retired:
             return
         now = self.transport.now
+        # Step down if a majority has been silent for a full election
+        # timeout.  A leader that can send but not receive (asymmetric
+        # partition) would otherwise heartbeat forever: followers keep
+        # hearing it, stay loyal, and never elect a reachable leader.
+        # Going silent lets their election timers fire.
+        if len(self.members) > 1:
+            heard = sum(
+                1
+                for m in self.members
+                if m == self.replica_id
+                or now - self.member_last_ack.get(m, now) <= self.config.election_timeout
+            )
+            if heard < self._majority():
+                self._reset_leader_state(
+                    fail_with=ProposalLost("lost contact with quorum")
+                )
+                return
         # The leader is its own lease grantor: refreshing its contact time
         # makes its local acceptor reject foreign Prepares while it is
         # actively heartbeating, like every other member does.
@@ -632,6 +659,14 @@ class PaxosReplica:
     def _on_heartbeat(self, src: str, msg: Heartbeat) -> None:
         self._note_ballot(msg.ballot)
         if msg.ballot < self.promised:
+            # Tell a stale leader about the higher ballot.  A node that
+            # campaigned fruitlessly while cut off comes back with a high
+            # ``promised`` it can never lower; silently ignoring the
+            # leader would orphan it forever, since heartbeats are the
+            # only traffic an idle group has.  The nack makes the leader
+            # step down and re-elect above our ballot, after which we
+            # rejoin.
+            self.transport.send(src, AcceptNack(msg.ballot, -1, self.promised))
             return
         self._observe_other_leader(src, msg.ballot)
         self.promised = max(self.promised, msg.ballot)
@@ -655,7 +690,12 @@ class PaxosReplica:
                 self._lease_until = lease_until
 
     def _retry_tick(self, ballot: Ballot) -> None:
-        """Retransmit Accepts for slots that have not reached a quorum."""
+        """Retransmit Accepts for slots that have not reached a quorum.
+
+        Fruitless retry rounds back off with decorrelated jitter toward
+        ``retry_cap`` (commit progress resets to ``retry_interval``), so
+        leaders stalled by the same fault do not retransmit in lockstep.
+        """
         if not self.is_leader or self.ballot != ballot or self.retired:
             return
         for slot, pending in sorted(self._pending.items()):
@@ -668,7 +708,18 @@ class PaxosReplica:
             for member in self.members:
                 if member not in pending.acks:
                     self.transport.send(member, msg)
-        self.transport.set_timer(self.config.retry_interval, self._retry_tick, ballot)
+        if self._pending:
+            self._retry_delay = decorrelated_jitter(
+                self.transport.rng(),
+                self.config.retry_interval,
+                self.config.retry_cap,
+                self._retry_delay,
+            )
+            delay = self._retry_delay
+        else:
+            self._retry_delay = None
+            delay = self.config.retry_interval
+        self.transport.set_timer(delay, self._retry_tick, ballot)
 
     # ------------------------------------------------------------------
     # Learning and catch-up

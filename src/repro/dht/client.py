@@ -10,6 +10,7 @@ from repro.dht.ring import hash_key, ring_distance
 from repro.group.info import GroupInfo
 from repro.net.futures import Future, RpcError, RpcTimeout, spawn
 from repro.net.node import Node
+from repro.net.retry import RetryPolicy, RetryState
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.store.kvstore import KvOp, KvResult, OP_CAS, OP_DELETE, OP_GET, OP_PUT
@@ -20,6 +21,12 @@ class ClientConfig:
     rpc_timeout: float = 0.5
     op_timeout: float = 8.0
     busy_backoff: float = 0.25
+    # Backoff after a failed RPC (timeout / remote error): exponential
+    # with decorrelated jitter from retry_base toward retry_cap, reset on
+    # any successful hop.  The busy/livelock pauses share the cap but
+    # start from busy_backoff.
+    retry_base: float = 0.04
+    retry_cap: float = 1.5
     max_hops: int = 32
     cache_size: int = 128
     # "iterative": the client follows redirects itself (default).
@@ -116,6 +123,12 @@ class ScatterClient(Node):
 
     def _op_proc(self, op: KvOp, dedup, record: OpRecord):
         deadline = self.sim.now + self.config.op_timeout
+        net_retry = RetryState(
+            RetryPolicy(base=self.config.retry_base, cap=self.config.retry_cap), self._rng
+        )
+        busy_retry = RetryState(
+            RetryPolicy(base=self.config.busy_backoff, cap=self.config.retry_cap), self._rng
+        )
         info = self._best_info(op.key)
         target = info.leader_hint if info is not None else self._seed()
         backups: list[str] = list(info.members) if info is not None else []
@@ -132,7 +145,7 @@ class ScatterClient(Node):
                 target = self._next_target(backups, exclude=target)
                 if target is None or visits.get(target, 0) >= 3:
                     target = self._seed()
-                    yield _sleep(self.sim, self.config.busy_backoff)
+                    yield _sleep(self.sim, busy_retry.next())
                 continue
             visits[target] = visits.get(target, 0) + 1
             record.attempts += 1
@@ -143,9 +156,14 @@ class ScatterClient(Node):
                     target, ClientOpReq(op=op, dedup=dedup, ttl=ttl), timeout=timeout
                 )
             except (RpcTimeout, RpcError):
+                # Decorrelated-jitter pause before the fallback target so
+                # clients stalled on the same dead node spread out instead
+                # of stampeding the next member in lockstep.
                 target = self._next_target(backups, exclude=target)
+                yield _sleep(self.sim, net_retry.next())
                 continue
             record.hops += 1
+            net_retry.reset()
             for group in resp.groups:
                 self._learn(group)
             if resp.status == "ok":
@@ -165,12 +183,12 @@ class ScatterClient(Node):
                         # stale knowledge somewhere.  Try another member,
                         # and pause so fresher state can propagate.
                         target = self._next_target(backups, exclude=asked)
-                        yield _sleep(self.sim, self.config.busy_backoff)
+                        yield _sleep(self.sim, busy_retry.next())
                 else:
                     target = self._seed()
                 continue
             if resp.status == "busy":
-                yield _sleep(self.sim, self.config.busy_backoff * self._rng.uniform(0.5, 1.5))
+                yield _sleep(self.sim, busy_retry.next())
                 refreshed = self._best_info(op.key)
                 if refreshed is not None:
                     target, backups = refreshed.leader_hint, list(refreshed.members)

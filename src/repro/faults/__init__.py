@@ -1,0 +1,57 @@
+"""Fault orchestration: nemeses, scenarios, and fault targets.
+
+This package turns fault injection from hand-coded per-test schedules
+into a reusable layer:
+
+- :class:`FaultTarget` adapts any deployment (Paxos cluster, Scatter,
+  Chord) to the little interface nemeses need.
+- :mod:`repro.faults.nemesis` provides composable nemesis processes
+  (crash storms, rolling and one-way partitions, drop bursts, gray-link
+  slowdowns, duplicate delivery), all driven from named RNG streams and
+  recording every action as a :class:`FaultEvent`.
+- :mod:`repro.faults.scenarios` is the declarative registry: named fault
+  schedules shared between tests, benchmarks, and the CLI
+  (``python -m repro nemesis <scenario>``).
+"""
+
+from repro.faults.nemesis import (
+    AsymmetricPartition,
+    CrashRestartStorm,
+    DropBurst,
+    Duplicator,
+    FaultEvent,
+    GraySlowdown,
+    Nemesis,
+    NemesisSuite,
+    RollingPartition,
+)
+from repro.faults.scenarios import (
+    NEMESIS_KINDS,
+    SCENARIOS,
+    NemesisSpec,
+    Scenario,
+    build_scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.faults.target import FaultTarget
+
+__all__ = [
+    "NEMESIS_KINDS",
+    "SCENARIOS",
+    "AsymmetricPartition",
+    "CrashRestartStorm",
+    "DropBurst",
+    "Duplicator",
+    "FaultEvent",
+    "FaultTarget",
+    "GraySlowdown",
+    "Nemesis",
+    "NemesisSpec",
+    "NemesisSuite",
+    "RollingPartition",
+    "Scenario",
+    "build_scenario",
+    "get_scenario",
+    "scenario_names",
+]

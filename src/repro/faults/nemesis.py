@@ -1,0 +1,413 @@
+"""Composable nemesis processes: deterministic fault schedules.
+
+A *nemesis* (the Jepsen term) is a process that injects faults into a
+running system on a randomized schedule.  Every nemesis here draws its
+randomness from a named simulator stream (``sim.rng("nemesis:<name>")``),
+so a (scenario, seed) pair reproduces the exact same fault schedule —
+and records every action it takes as a :class:`FaultEvent`, so tests can
+fingerprint schedules and experiments can report what actually happened.
+
+Design rules shared by all nemeses:
+
+- ``start()`` begins the schedule; ``stop()`` halts it **and undoes any
+  fault still active** (partitions healed, slowdowns cleared, crashed
+  victims restarted), so post-fault recovery measurements start from a
+  fault-free network.
+- Faults injected by one nemesis are tracked and reverted individually;
+  two nemeses only interfere if they target the same link with the same
+  primitive (last heal wins) — compose with disjoint primitives or
+  accept that overlap.
+- A nemesis never blocks: it only schedules simulator events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.faults.target import FaultTarget
+from repro.sim.loop import Simulator
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One action a nemesis took (for logs, fingerprints, reports)."""
+
+    time: float
+    nemesis: str
+    action: str
+    detail: tuple = ()
+
+
+class Nemesis:
+    """Base class: schedule management, RNG stream, event recording."""
+
+    def __init__(self, sim: Simulator, target: FaultTarget, name: str) -> None:
+        self.sim = sim
+        self.target = target
+        self.name = name
+        self.rng = sim.rng(f"nemesis:{name}")
+        self.events: list[FaultEvent] = []
+        self.running = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._record("start")
+        self._kickoff()
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self._heal()
+        self._record("stop")
+
+    def _kickoff(self) -> None:
+        raise NotImplementedError
+
+    def _heal(self) -> None:
+        """Undo any fault this nemesis still has active."""
+
+    # -- helpers --------------------------------------------------------
+    def _record(self, action: str, *detail: Any) -> None:
+        self.events.append(FaultEvent(self.sim.now, self.name, action, tuple(detail)))
+
+    def _while_running(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn`` guarded by the running flag."""
+
+        def guarded(*inner: Any) -> None:
+            if self.running:
+                fn(*inner)
+
+        self.sim.schedule(delay, guarded, *args)
+
+    def _jittered(self, period: float) -> float:
+        return period * self.rng.uniform(0.5, 1.5)
+
+    def schedule_fingerprint(self) -> tuple:
+        """Hashable summary of the schedule for determinism checks."""
+        return tuple(
+            (round(e.time, 9), e.nemesis, e.action, e.detail) for e in self.events
+        )
+
+
+class CrashRestartStorm(Nemesis):
+    """Repeatedly crash random nodes and restart them after a downtime.
+
+    ``max_down`` caps how many of *this nemesis's* victims are down at
+    once, so a storm against a replicated group can be kept below the
+    majority threshold (or allowed to exceed it, for recovery tests).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "crash-storm",
+        interval: float = 2.0,
+        downtime: tuple[float, float] = (1.0, 4.0),
+        max_down: int = 1,
+    ) -> None:
+        super().__init__(sim, target, name)
+        self.interval = interval
+        self.downtime = downtime
+        self.max_down = max_down
+        self._down: set[str] = set()
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.interval), self._tick)
+
+    def _tick(self) -> None:
+        if len(self._down) < self.max_down:
+            candidates = [n for n in self.target.alive_ids() if n not in self._down]
+            if candidates:
+                victim = self.rng.choice(candidates)
+                if self.target.crash(victim):
+                    self._down.add(victim)
+                    self._record("crash", victim)
+                    self.sim.schedule(
+                        self.rng.uniform(*self.downtime), self._restore, victim
+                    )
+        self._while_running(self._jittered(self.interval), self._tick)
+
+    def _restore(self, victim: str) -> None:
+        if victim in self._down:
+            self._down.discard(victim)
+            if self.target.restart(victim):
+                self._record("restart", victim)
+
+    def _heal(self) -> None:
+        for victim in sorted(self._down):
+            if self.target.restart(victim):
+                self._record("restart", victim)
+        self._down.clear()
+
+
+class RollingPartition(Nemesis):
+    """Symmetric partitions that move around the system.
+
+    Each round cuts a random minority side off from the rest for
+    ``duration`` seconds, heals, then picks a new side — the classic
+    schedule that shakes out stale-leader and split-brain bugs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "rolling-partition",
+        period: float = 4.0,
+        duration: float = 1.5,
+    ) -> None:
+        super().__init__(sim, target, name)
+        self.period = period
+        self.duration = duration
+        self._active_pairs: set[tuple[str, str]] = set()
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.period), self._tick)
+
+    def _tick(self) -> None:
+        ids = self.target.node_ids()
+        if len(ids) >= 2 and not self._active_pairs:
+            side_size = self.rng.randrange(1, max(2, len(ids) // 2 + 1))
+            side = set(self.rng.sample(ids, side_size))
+            rest = set(ids) - side
+            for a in side:
+                for b in rest:
+                    self._active_pairs.add((a, b))
+                    self._active_pairs.add((b, a))
+                    self.target.net.block_one_way(a, b)
+                    self.target.net.block_one_way(b, a)
+            self._record("partition", tuple(sorted(side)))
+            self.sim.schedule(self.duration, self._heal_round)
+        self._while_running(self._jittered(self.period), self._tick)
+
+    def _heal_round(self) -> None:
+        if not self._active_pairs:
+            return
+        for src, dst in sorted(self._active_pairs):
+            self.target.net.unblock_one_way(src, dst)
+        self._active_pairs.clear()
+        self._record("heal")
+
+    def _heal(self) -> None:
+        self._heal_round()
+
+
+class AsymmetricPartition(Nemesis):
+    """One-way partitions: a victim that can send but not receive (or
+    the reverse) — the edge case symmetric fault tests never cover, and
+    the one *How to Make Chord Correct* shows breaking overlay
+    invariants."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "asymmetric-partition",
+        period: float = 4.0,
+        duration: float = 1.5,
+        mode: str = "inbound",  # "inbound", "outbound", or "random"
+    ) -> None:
+        if mode not in ("inbound", "outbound", "random"):
+            raise ValueError(f"bad mode {mode}")
+        super().__init__(sim, target, name)
+        self.period = period
+        self.duration = duration
+        self.mode = mode
+        self._active_pairs: set[tuple[str, str]] = set()
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.period), self._tick)
+
+    def _tick(self) -> None:
+        alive = self.target.alive_ids()
+        if alive and not self._active_pairs:
+            victim = self.rng.choice(alive)
+            mode = self.mode
+            if mode == "random":
+                mode = "inbound" if self.rng.random() < 0.5 else "outbound"
+            peers = [n for n in self.target.node_ids() if n != victim]
+            for peer in peers:
+                pair = (peer, victim) if mode == "inbound" else (victim, peer)
+                self._active_pairs.add(pair)
+                self.target.net.block_one_way(*pair)
+            self._record(f"isolate_{mode}", victim)
+            self.sim.schedule(self.duration, self._heal_round)
+        self._while_running(self._jittered(self.period), self._tick)
+
+    def _heal_round(self) -> None:
+        if not self._active_pairs:
+            return
+        for src, dst in sorted(self._active_pairs):
+            self.target.net.unblock_one_way(src, dst)
+        self._active_pairs.clear()
+        self._record("heal")
+
+    def _heal(self) -> None:
+        self._heal_round()
+
+
+class DropBurst(Nemesis):
+    """Bursts of heavy message loss: raise ``net.drop_prob`` for a
+    window, then restore whatever it was before."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "drop-burst",
+        period: float = 5.0,
+        duration: float = 1.0,
+        drop_prob: float = 0.4,
+    ) -> None:
+        super().__init__(sim, target, name)
+        self.period = period
+        self.duration = duration
+        self.drop_prob = drop_prob
+        self._saved: float | None = None
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.period), self._tick)
+
+    def _tick(self) -> None:
+        if self._saved is None:
+            self._saved = self.target.net.drop_prob
+            self.target.net.drop_prob = max(self._saved, self.drop_prob)
+            self._record("drop_burst", self.drop_prob)
+            self.sim.schedule(self.duration, self._heal_round)
+        self._while_running(self._jittered(self.period), self._tick)
+
+    def _heal_round(self) -> None:
+        if self._saved is None:
+            return
+        self.target.net.drop_prob = self._saved
+        self._saved = None
+        self._record("heal")
+
+    def _heal(self) -> None:
+        self._heal_round()
+
+
+class GraySlowdown(Nemesis):
+    """Gray failure: a victim's links get slow, not dead.
+
+    Every message still arrives, just ``slowdown`` times later — which
+    keeps naive is-it-up probes happy while leases expire, RPCs time
+    out, and retry storms build.  The hardest failure mode for
+    timeout-based detectors, and the one E16 measures.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "gray-slowdown",
+        period: float = 5.0,
+        duration: float = 2.5,
+        slowdown: tuple[float, float] = (10.0, 50.0),
+    ) -> None:
+        super().__init__(sim, target, name)
+        self.period = period
+        self.duration = duration
+        self.slowdown = slowdown
+        self._active: dict[str, list[str]] = {}  # victim -> peers degraded
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.period), self._tick)
+
+    def _tick(self) -> None:
+        alive = [n for n in self.target.alive_ids() if n not in self._active]
+        if alive and not self._active:
+            victim = self.rng.choice(alive)
+            factor = self.rng.uniform(*self.slowdown)
+            peers = [n for n in self.target.node_ids() if n != victim]
+            self.target.net.set_node_slowdown(victim, factor, peers)
+            self._active[victim] = peers
+            self._record("slow", victim, round(factor, 3))
+            self.sim.schedule(self.duration, self._heal_victim, victim)
+        self._while_running(self._jittered(self.period), self._tick)
+
+    def _heal_victim(self, victim: str) -> None:
+        peers = self._active.pop(victim, None)
+        if peers is None:
+            return
+        self.target.net.set_node_slowdown(victim, 1.0, peers)
+        self._record("heal", victim)
+
+    def _heal(self) -> None:
+        for victim in sorted(self._active):
+            self._heal_victim(victim)
+
+
+class Duplicator(Nemesis):
+    """At-least-once delivery: windows where every message may be
+    delivered twice (independently timed, so duplicates can reorder past
+    the original).  Stresses command dedup exactly the way Spinnaker's
+    correctness argument assumes it is stressed."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "duplicator",
+        period: float = 4.0,
+        duration: float = 2.0,
+        dup_prob: float = 0.3,
+    ) -> None:
+        super().__init__(sim, target, name)
+        self.period = period
+        self.duration = duration
+        self.dup_prob = dup_prob
+        self._saved: float | None = None
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.period), self._tick)
+
+    def _tick(self) -> None:
+        if self._saved is None:
+            self._saved = self.target.net.dup_prob
+            self.target.net.dup_prob = max(self._saved, self.dup_prob)
+            self._record("duplicate", self.dup_prob)
+            self.sim.schedule(self.duration, self._heal_round)
+        self._while_running(self._jittered(self.period), self._tick)
+
+    def _heal_round(self) -> None:
+        if self._saved is None:
+            return
+        self.target.net.dup_prob = self._saved
+        self._saved = None
+        self._record("heal")
+
+    def _heal(self) -> None:
+        self._heal_round()
+
+
+class NemesisSuite:
+    """Several nemeses run as one: start/stop together, merged events."""
+
+    def __init__(self, nemeses: list[Nemesis]) -> None:
+        self.nemeses = list(nemeses)
+
+    def start(self) -> None:
+        for nemesis in self.nemeses:
+            nemesis.start()
+
+    def stop(self) -> None:
+        for nemesis in self.nemeses:
+            nemesis.stop()
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        merged = [e for n in self.nemeses for e in n.events]
+        merged.sort(key=lambda e: (e.time, e.nemesis, e.action, e.detail))
+        return merged
+
+    def schedule_fingerprint(self) -> tuple:
+        return tuple(
+            (round(e.time, 9), e.nemesis, e.action, e.detail) for e in self.events
+        )

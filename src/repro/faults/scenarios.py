@@ -1,0 +1,183 @@
+"""Declarative scenario registry: named, shareable fault schedules.
+
+A scenario is data — which nemeses, with which knobs — so the same fault
+schedule is runnable from a test, a benchmark, or the CLI
+(``python -m repro nemesis <name>``) without copy-pasting schedule code.
+Determinism contract: ``build_scenario`` derives each nemesis's RNG
+stream from the scenario name and spec index, so a (scenario, simulator
+seed) pair always reproduces the identical fault schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.faults.nemesis import (
+    AsymmetricPartition,
+    CrashRestartStorm,
+    DropBurst,
+    Duplicator,
+    GraySlowdown,
+    Nemesis,
+    NemesisSuite,
+    RollingPartition,
+)
+from repro.faults.target import FaultTarget
+from repro.sim.loop import Simulator
+
+NEMESIS_KINDS: dict[str, type[Nemesis]] = {
+    "crash_storm": CrashRestartStorm,
+    "rolling_partition": RollingPartition,
+    "asymmetric_partition": AsymmetricPartition,
+    "drop_burst": DropBurst,
+    "gray_slowdown": GraySlowdown,
+    "duplicator": Duplicator,
+}
+
+
+@dataclass(frozen=True)
+class NemesisSpec:
+    """One nemesis in a scenario: a kind from NEMESIS_KINDS plus knobs."""
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in NEMESIS_KINDS:
+            raise ValueError(f"unknown nemesis kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, composable fault schedule."""
+
+    name: str
+    description: str
+    nemeses: tuple[NemesisSpec, ...]
+
+
+def build_scenario(
+    scenario: Scenario | str, sim: Simulator, target: FaultTarget
+) -> NemesisSuite:
+    """Instantiate a scenario's nemeses against ``target``."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    instances: list[Nemesis] = []
+    for i, spec in enumerate(scenario.nemeses):
+        cls = NEMESIS_KINDS[spec.kind]
+        instances.append(
+            cls(sim, target, name=f"{scenario.name}/{i}:{spec.kind}", **spec.params)
+        )
+    return NemesisSuite(instances)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# The registry.  Timing is tuned for the experiment Paxos profile
+# (heartbeats 0.1-0.25 s, elections 0.5-1.2 s): faults last long enough
+# to force elections and lease expiries but heal within a few seconds.
+# ---------------------------------------------------------------------------
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> None:
+    SCENARIOS[scenario.name] = scenario
+
+
+_register(Scenario(
+    name="clean_crash",
+    description="Fail-stop storm: one node at a time crashes and restarts "
+                "after a few seconds — the failure mode every system tests.",
+    nemeses=(
+        NemesisSpec("crash_storm",
+                    {"interval": 3.0, "downtime": (1.5, 4.0), "max_down": 1}),
+    ),
+))
+
+_register(Scenario(
+    name="crash_storm",
+    description="Aggressive crash/restart storm: up to two nodes down at "
+                "once with short intervals between kills.",
+    nemeses=(
+        NemesisSpec("crash_storm",
+                    {"interval": 1.5, "downtime": (0.5, 3.0), "max_down": 2}),
+    ),
+))
+
+_register(Scenario(
+    name="rolling_partition",
+    description="Symmetric partitions that move: a random minority is cut "
+                "off, healed, and a new side is chosen.",
+    nemeses=(
+        NemesisSpec("rolling_partition", {"period": 4.0, "duration": 1.5}),
+    ),
+))
+
+_register(Scenario(
+    name="asymmetric_partition",
+    description="One-way partitions: a victim can send but not receive "
+                "(or vice versa) — the schedule symmetric tests miss.",
+    nemeses=(
+        NemesisSpec("asymmetric_partition",
+                    {"period": 4.0, "duration": 1.5, "mode": "random"}),
+    ),
+))
+
+_register(Scenario(
+    name="gray_failure",
+    description="Gray failure: a victim's links degrade 10-50x instead of "
+                "dying, defeating timeout-based failure detectors.",
+    nemeses=(
+        NemesisSpec("gray_slowdown",
+                    {"period": 5.0, "duration": 2.5, "slowdown": (10.0, 50.0)}),
+    ),
+))
+
+_register(Scenario(
+    name="drop_burst",
+    description="Bursts of 40% message loss on every link.",
+    nemeses=(
+        NemesisSpec("drop_burst",
+                    {"period": 5.0, "duration": 1.5, "drop_prob": 0.4}),
+    ),
+))
+
+_register(Scenario(
+    name="dup_delivery",
+    description="At-least-once delivery windows: 30% of messages delivered "
+                "twice with independent timing — stresses command dedup.",
+    nemeses=(
+        NemesisSpec("duplicator",
+                    {"period": 4.0, "duration": 2.5, "dup_prob": 0.3}),
+    ),
+))
+
+_register(Scenario(
+    name="chaos",
+    description="Everything at once: crashes, one-way partitions, gray "
+                "links, loss bursts, and duplication.",
+    nemeses=(
+        NemesisSpec("crash_storm",
+                    {"interval": 4.0, "downtime": (1.0, 3.0), "max_down": 1}),
+        NemesisSpec("asymmetric_partition",
+                    {"period": 6.0, "duration": 1.2, "mode": "random"}),
+        NemesisSpec("gray_slowdown",
+                    {"period": 7.0, "duration": 2.0, "slowdown": (8.0, 30.0)}),
+        NemesisSpec("drop_burst",
+                    {"period": 8.0, "duration": 1.0, "drop_prob": 0.3}),
+        NemesisSpec("duplicator",
+                    {"period": 9.0, "duration": 2.0, "dup_prob": 0.2}),
+    ),
+))

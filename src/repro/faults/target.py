@@ -1,0 +1,70 @@
+"""Adapter between nemeses and the system under test.
+
+A nemesis needs very little from a system: the shared network (for
+partitions, slowdowns, loss, duplication) and a way to enumerate, crash,
+and restart its processes.  :class:`FaultTarget` packages exactly that,
+with constructors for the three deployment shapes in this repo — a bare
+Paxos cluster, a Scatter deployment, and the Chord baseline — so every
+fault schedule is writable once and runnable against any of them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.net.node import Node
+from repro.sim.network import SimNetwork
+
+
+class FaultTarget:
+    """A set of crashable processes sharing one :class:`SimNetwork`.
+
+    ``nodes`` is kept by reference, so a live system that adds or removes
+    nodes (churn) is reflected in later ``node_ids()`` calls — nemeses
+    always draw victims from the current population.
+    """
+
+    def __init__(self, net: SimNetwork, nodes: Mapping[str, Node]) -> None:
+        self.net = net
+        self.nodes = nodes
+
+    @staticmethod
+    def for_system(system) -> "FaultTarget":
+        """Wrap a ScatterSystem or ChordSystem (anything with .net/.nodes)."""
+        return FaultTarget(system.net, system.nodes)
+
+    @staticmethod
+    def for_hosts(net: SimNetwork, hosts: list[Node]) -> "FaultTarget":
+        """Wrap an explicit host list (e.g. ``build_cluster`` output)."""
+        return FaultTarget(net, {h.node_id: h for h in hosts})
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def node_ids(self) -> list[str]:
+        return sorted(self.nodes)
+
+    def alive_ids(self) -> list[str]:
+        return sorted(n for n, node in self.nodes.items() if node.alive)
+
+    def down_ids(self) -> list[str]:
+        return sorted(n for n, node in self.nodes.items() if not node.alive)
+
+    # ------------------------------------------------------------------
+    # Process faults
+    # ------------------------------------------------------------------
+    def crash(self, node_id: str) -> bool:
+        """Transient fail-stop.  Returns True if the node was up."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return False
+        node.crash()
+        return True
+
+    def restart(self, node_id: str) -> bool:
+        """Recover a crashed node.  Returns True if it was down."""
+        node = self.nodes.get(node_id)
+        if node is None or node.alive:
+            return False
+        node.restart()
+        return True

@@ -1,4 +1,4 @@
-"""Experiment entry points E1–E15 (see DESIGN.md for the index).
+"""Experiment entry points E1–E16 (see DESIGN.md for the index).
 
 Every function returns an :class:`ExperimentResult` whose rows are the
 series the corresponding figure/table in the paper plots.  ``quick=True``
@@ -12,9 +12,11 @@ from __future__ import annotations
 import math
 import random
 
+from repro.analysis.liveness import LivenessWatchdog
 from repro.analysis.stats import mean, percentile
 from repro.consensus.replica import PaxosConfig
 from repro.dht.client import ClientConfig
+from repro.faults import FaultTarget, build_scenario
 from repro.harness.builders import (
     DeploymentParams,
     build_chord_deployment,
@@ -71,6 +73,66 @@ def _churn_run(
     sim.run_for(2.0)
     metrics = workload_metrics(workload.all_records(), window=(start, start + duration))
     metrics["departures"] = churn.departures if churn else 0
+    return metrics
+
+
+def _nemesis_run(
+    backend: str,
+    scenario: str,
+    duration: float,
+    params: DeploymentParams,
+    read_fraction: float = 0.5,
+    n_keys: int = 40,
+    watchdog_window: float = 3.0,
+    recovery_cap: float = 20.0,
+) -> dict:
+    """One deployment under a named nemesis scenario; returns metrics.
+
+    Shared by E16, the CLI ``nemesis`` subcommand, and tests, so fault
+    schedules are defined once in :mod:`repro.faults.scenarios`.
+    Recovery time is measured from the final heal (nemesis stop) to the
+    first client operation completing afterwards, capped at
+    ``recovery_cap`` seconds.
+    """
+    if backend == "scatter":
+        deployment = build_scatter_deployment(params, policy=ScatterPolicy(**CHURN_POLICY_KWARGS))
+    else:
+        deployment = build_chord_deployment(params)
+    sim, system, clients = deployment.sim, deployment.system, deployment.clients
+    workload = ClosedLoopWorkload(
+        sim, clients, UniformKeys(n_keys), read_fraction=read_fraction, think_time=0.05
+    )
+    workload.start()
+    sim.run_for(5.0)  # populate keys and reach steady state before faults
+
+    def completed_ops() -> int:
+        return sum(1 for r in workload.all_records() if r.completed)
+
+    suite = build_scenario(scenario, sim, FaultTarget.for_system(system))
+    watchdog = LivenessWatchdog(sim, completed_ops, window=watchdog_window)
+    start = sim.now
+    watchdog.start()
+    suite.start()
+    sim.run_for(duration)
+    suite.stop()  # halts the schedule and heals all active faults
+    fault_end = sim.now
+    before_recovery = completed_ops()
+    recovery = 0.0
+    while recovery < recovery_cap and completed_ops() == before_recovery:
+        sim.run_for(0.25)
+        recovery += 0.25
+    watchdog.stop()
+    workload.stop()
+    sim.run_for(2.0)
+    metrics = workload_metrics(workload.all_records(), window=(start, fault_end))
+    metrics["scenario"] = scenario
+    metrics["fault_events"] = sum(
+        1 for e in suite.events if e.action not in ("start", "stop")
+    )
+    metrics["stalls"] = watchdog.stall_count
+    metrics["max_stall_s"] = watchdog.max_stall
+    metrics["recovery_s"] = recovery
+    metrics["recovered"] = completed_ops() > before_recovery
     return metrics
 
 
@@ -847,6 +909,45 @@ def run_e15(quick: bool = True, seed: int = 15) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# E16: gray failures vs clean crashes (nemesis scenarios)
+# ---------------------------------------------------------------------------
+def run_e16(quick: bool = True, seed: int = 16) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E16",
+        title="E16: availability and recovery under gray failures vs clean crashes",
+        columns=[
+            "backend", "scenario", "ops", "availability", "violations",
+            "fault_events", "stalls", "max_stall_s", "recovery_s",
+        ],
+        notes=(
+            "nemesis scenarios from repro.faults; recovery_s = heal to "
+            "first completed op (20 s cap); gray links hurt more than "
+            "clean crashes because failure detectors see silence, not "
+            "slowness"
+        ),
+    )
+    duration = 40.0 if quick else 120.0
+    scenarios = ["clean_crash", "gray_failure", "asymmetric_partition"]
+    if not quick:
+        scenarios += ["dup_delivery", "chaos"]
+    for backend in ("scatter", "chord"):
+        for scenario in scenarios:
+            metrics = _nemesis_run(backend, scenario, duration, _churn_params(quick, seed))
+            result.add(
+                backend=backend,
+                scenario=scenario,
+                ops=metrics["ops"],
+                availability=metrics["availability"],
+                violations=metrics["violations"],
+                fault_events=metrics["fault_events"],
+                stalls=metrics["stalls"],
+                max_stall_s=metrics["max_stall_s"],
+                recovery_s=metrics["recovery_s"],
+            )
+    return result
+
+
 EXPERIMENT_TITLES = {
     "E1": "inconsistent lookups in a Chord-style DHT vs churn (motivation)",
     "E2": "linearizability violations, Scatter vs Chord, under churn (headline)",
@@ -863,6 +964,7 @@ EXPERIMENT_TITLES = {
     "E13": "bonus: cold lookup hops vs ring size (gossip ablation)",
     "E14": "bonus: latency-throughput saturation curve",
     "E15": "bonus: Paxos write batching ablation",
+    "E16": "availability and recovery under gray failures vs clean crashes",
 }
 
 ALL_EXPERIMENTS = {
@@ -881,4 +983,5 @@ ALL_EXPERIMENTS = {
     "E13": run_e13,
     "E14": run_e14,
     "E15": run_e15,
+    "E16": run_e16,
 }

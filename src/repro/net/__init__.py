@@ -12,5 +12,16 @@ Provides:
 
 from repro.net.futures import Future, RpcError, RpcTimeout, all_of, spawn
 from repro.net.node import Node
+from repro.net.retry import RetryPolicy, RetryState, decorrelated_jitter
 
-__all__ = ["Future", "Node", "RpcError", "RpcTimeout", "all_of", "spawn"]
+__all__ = [
+    "Future",
+    "Node",
+    "RetryPolicy",
+    "RetryState",
+    "RpcError",
+    "RpcTimeout",
+    "all_of",
+    "decorrelated_jitter",
+    "spawn",
+]

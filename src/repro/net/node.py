@@ -98,7 +98,11 @@ class Node:
         handle = self.sim.schedule(delay, guarded, *args)
         self._timers.append(handle)
         if len(self._timers) > 256:
-            self._timers = [t for t in self._timers if not t.cancelled]
+            # Drop cancelled handles and ones already in the past (fired).
+            # Handles at exactly `now` may still be pending this tick, so
+            # they are kept until time advances.
+            now = self.sim.now
+            self._timers = [t for t in self._timers if not t.cancelled and t.time >= now]
         return handle
 
     # ------------------------------------------------------------------
@@ -113,7 +117,13 @@ class Node:
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
+        # Fail callers waiting on in-flight RPCs instead of leaving their
+        # futures pending forever (the response would be dropped anyway).
+        pending = list(self._pending_rpcs.values())
         self._pending_rpcs.clear()
+        for future in pending:
+            if not future.done:
+                future.set_exception(RpcTimeout(f"{self.node_id} crashed"))
 
     def restart(self) -> None:
         """Recover with volatile state reset (see :meth:`on_restart`)."""

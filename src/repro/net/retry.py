@@ -1,0 +1,76 @@
+"""Retry backoff with exponential growth and decorrelated jitter.
+
+Fixed retry intervals make every waiter retry in lockstep: when a fault
+clears, all of them fire at once, collide, time out together, and retry
+together again — recovery takes an unbounded number of synchronized
+rounds.  The fix (folklore, popularized by AWS's "Exponential Backoff and
+Jitter") is *decorrelated jitter*: each delay is drawn uniformly from
+``[base, multiplier * previous_delay]`` and capped, so consecutive delays
+grow roughly exponentially but two retrying parties decorrelate after the
+first round.
+
+All randomness is drawn from a caller-supplied ``random.Random`` so the
+simulator's named-stream determinism is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of a backoff sequence (seconds of virtual time)."""
+
+    base: float = 0.05
+    cap: float = 2.0
+    multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("base must be positive")
+        if self.cap < self.base:
+            raise ValueError("cap must be >= base")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def next_delay(self, rng: random.Random, prev: float | None = None) -> float:
+        """One decorrelated-jitter delay following ``prev`` (None = first)."""
+        return decorrelated_jitter(rng, self.base, self.cap, prev, self.multiplier)
+
+
+def decorrelated_jitter(
+    rng: random.Random,
+    base: float,
+    cap: float,
+    prev: float | None = None,
+    multiplier: float = 3.0,
+) -> float:
+    """``min(cap, uniform(base, multiplier * prev))``, seeded from prev=base."""
+    hi = multiplier * (prev if prev is not None else base)
+    return min(cap, rng.uniform(base, max(base, hi)))
+
+
+class RetryState:
+    """Mutable backoff cursor over a :class:`RetryPolicy`.
+
+    ``next()`` returns the next delay; ``reset()`` snaps back to the base
+    after progress so a transient fault does not tax the next one.
+    """
+
+    def __init__(self, policy: RetryPolicy, rng: random.Random) -> None:
+        self.policy = policy
+        self.rng = rng
+        self.attempts = 0
+        self._prev: float | None = None
+
+    def next(self) -> float:
+        delay = self.policy.next_delay(self.rng, self._prev)
+        self._prev = delay
+        self.attempts += 1
+        return delay
+
+    def reset(self) -> None:
+        self.attempts = 0
+        self._prev = None

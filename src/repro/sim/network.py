@@ -7,7 +7,18 @@ The network models the failure modes the paper's protocols must tolerate:
 - **Crash/churn**: a departed endpoint silently swallows messages (both
   inbound and, via :meth:`set_down`, outbound sends are suppressed).
 - **Loss**: each message is independently dropped with ``drop_prob``.
-- **Partitions**: arbitrary blocked endpoint pairs.
+- **Partitions**: arbitrary blocked endpoint pairs — symmetric via
+  :meth:`block` or *one-way* via :meth:`block_one_way` (a node that can
+  send but not receive, the asymmetric case naive fault tests miss).
+- **Gray failure**: per-link latency multipliers (:meth:`set_link_slowdown`)
+  model links that are degraded rather than dead — the hardest case for
+  timeout-based failure detectors.
+- **Duplication**: with ``dup_prob`` a delivered message is also delivered
+  a second time after an independently sampled latency, modelling
+  at-least-once transports and retransmission races.
+
+All randomness comes from named simulator streams, so every fault
+behaviour is deterministic in (seed, configuration).
 
 Messages are delivered in timestamp order but *not* FIFO per link when the
 latency model is non-constant — exactly the asynchrony Paxos must handle.
@@ -33,6 +44,7 @@ class NetworkStats:
     delivered: int = 0
     dropped: int = 0
     to_dead: int = 0
+    duplicated: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
 
     def note_sent(self, msg: Any) -> None:
@@ -49,16 +61,21 @@ class SimNetwork:
         sim: Simulator,
         latency: LatencyModel | None = None,
         drop_prob: float = 0.0,
+        dup_prob: float = 0.0,
     ) -> None:
         if not 0.0 <= drop_prob < 1.0:
             raise ValueError("drop_prob must be in [0, 1)")
+        if not 0.0 <= dup_prob < 1.0:
+            raise ValueError("dup_prob must be in [0, 1)")
         self.sim = sim
         self.latency = latency or ConstantLatency()
         self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
         self.stats = NetworkStats()
         self._handlers: dict[str, Handler] = {}
         self._down: set[str] = set()
         self._blocked_pairs: set[tuple[str, str]] = set()
+        self._slowdowns: dict[tuple[str, str], float] = {}
         self._rng = sim.rng("net")
 
     # ------------------------------------------------------------------
@@ -98,6 +115,30 @@ class SimNetwork:
         self._blocked_pairs.discard((a, b))
         self._blocked_pairs.discard((b, a))
 
+    def block_one_way(self, src: str, dst: str) -> None:
+        """Drop traffic from ``src`` to ``dst`` only (asymmetric partition).
+
+        The reverse direction is untouched, so ``src`` can still *send* if
+        blocked only as a receiver elsewhere — use two calls for the
+        "can send but not receive" leader scenario.
+        """
+        self._blocked_pairs.add((src, dst))
+
+    def unblock_one_way(self, src: str, dst: str) -> None:
+        self._blocked_pairs.discard((src, dst))
+
+    def isolate_inbound(self, victim: str, peers: list[str] | None = None) -> None:
+        """Block all traffic *to* ``victim``: it can send but not receive."""
+        for peer in peers if peers is not None else self.addresses():
+            if peer != victim:
+                self.block_one_way(peer, victim)
+
+    def isolate_outbound(self, victim: str, peers: list[str] | None = None) -> None:
+        """Block all traffic *from* ``victim``: it can receive but not send."""
+        for peer in peers if peers is not None else self.addresses():
+            if peer != victim:
+                self.block_one_way(victim, peer)
+
     def partition(self, side_a: set[str], side_b: set[str]) -> None:
         """Block every cross pair between the two sides."""
         for a in side_a:
@@ -105,8 +146,41 @@ class SimNetwork:
                 self.block(a, b)
 
     def heal(self) -> None:
-        """Remove all partitions."""
+        """Remove all partitions (one-way blocks included)."""
         self._blocked_pairs.clear()
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked_pairs
+
+    # ------------------------------------------------------------------
+    # Gray failure: per-link latency degradation
+    # ------------------------------------------------------------------
+    def set_link_slowdown(self, src: str, dst: str, factor: float) -> None:
+        """Multiply sampled latency on the directed link ``src -> dst``.
+
+        A factor of 1.0 clears the entry.  Slow links stay *connected* —
+        messages arrive late rather than never, which defeats failure
+        detectors that equate silence with death.
+        """
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        if factor == 1.0:
+            self._slowdowns.pop((src, dst), None)
+        else:
+            self._slowdowns[(src, dst)] = factor
+
+    def set_node_slowdown(self, victim: str, factor: float, peers: list[str] | None = None) -> None:
+        """Degrade every link touching ``victim`` (both directions)."""
+        for peer in peers if peers is not None else self.addresses():
+            if peer != victim:
+                self.set_link_slowdown(victim, peer, factor)
+                self.set_link_slowdown(peer, victim, factor)
+
+    def clear_slowdowns(self) -> None:
+        self._slowdowns.clear()
+
+    def link_slowdown(self, src: str, dst: str) -> float:
+        return self._slowdowns.get((src, dst), 1.0)
 
     # ------------------------------------------------------------------
     # Sending
@@ -128,7 +202,18 @@ class SimNetwork:
         if self.drop_prob > 0 and self._rng.random() < self.drop_prob:
             self.stats.dropped += 1
             return
+        self._schedule_delivery(src, dst, msg)
+        if self.dup_prob > 0 and self._rng.random() < self.dup_prob:
+            # A duplicate travels independently: its own latency sample,
+            # so it may arrive before *or* after the original.
+            self.stats.duplicated += 1
+            self._schedule_delivery(src, dst, msg)
+
+    def _schedule_delivery(self, src: str, dst: str, msg: Any) -> None:
         delay = self.latency.sample(src, dst, self._rng)
+        factor = self._slowdowns.get((src, dst))
+        if factor is not None:
+            delay *= factor
         self.sim.schedule(delay, self._deliver, src, dst, msg)
 
     def _deliver(self, src: str, dst: str, msg: Any) -> None:

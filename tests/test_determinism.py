@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import FaultTarget, build_scenario
 from repro.harness.builders import DeploymentParams, build_scatter_deployment
 from repro.harness.experiments import run_e05, run_e12
 from repro.policies import ScatterPolicy
@@ -48,3 +49,38 @@ class TestDeterminism:
         a = run_e05(quick=True, seed=2)
         b = run_e05(quick=True, seed=2)
         assert a.rows == b.rows
+
+
+def run_nemesis_fingerprint(seed, scenario="chaos"):
+    """One faulted run, reduced to (fault schedule, client history)."""
+    params = DeploymentParams(n_nodes=12, n_groups=3, n_clients=2, seed=seed)
+    deployment = build_scatter_deployment(params)
+    sim, system, clients = deployment.sim, deployment.system, deployment.clients
+    workload = ClosedLoopWorkload(sim, clients, UniformKeys(20), read_fraction=0.5)
+    workload.start()
+    suite = build_scenario(scenario, sim, FaultTarget.for_system(system))
+    suite.start()
+    sim.run_for(20.0)
+    suite.stop()
+    sim.run_for(3.0)
+    workload.stop()
+    history = tuple(
+        (r.op, r.key, round(r.invoke_time, 9), round(r.response_time, 9))
+        for r in workload.all_records()
+    )
+    return suite.schedule_fingerprint(), history
+
+
+class TestNemesisDeterminism:
+    """Same (scenario, seed) => identical fault schedule AND history."""
+
+    def test_same_scenario_and_seed_reproduce(self):
+        a = run_nemesis_fingerprint(5)
+        b = run_nemesis_fingerprint(5)
+        assert a[0] == b[0], "fault schedules diverged"
+        assert a[1] == b[1], "client histories diverged"
+
+    def test_different_seeds_give_different_schedules(self):
+        a = run_nemesis_fingerprint(5)
+        b = run_nemesis_fingerprint(6)
+        assert a[0] != b[0]

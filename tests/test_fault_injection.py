@@ -14,9 +14,10 @@ Seeds are fixed, so failures are reproducible.
 
 import pytest
 
-from repro.analysis import check_history
+from repro.analysis import LivenessWatchdog, check_history
 from repro.consensus import Command, PaxosConfig
 from repro.consensus.harness import build_cluster
+from repro.faults import CrashRestartStorm, FaultTarget
 from repro.dht.client import ScatterClient
 from repro.dht.ring import KEY_SPACE
 from repro.dht.system import ScatterSystem
@@ -42,31 +43,42 @@ def applied_prefixes_consistent(hosts):
     return all(log == longest[: len(log)] for log in logs)
 
 
+def pump_proposals(sim, hosts, rounds, interval=1.0, prefix="r"):
+    """Propose one command per tick through whoever currently leads."""
+
+    def tick(i):
+        leaders = [h for h in hosts if h.alive and h.replica.is_leader]
+        if leaders:
+            leaders[0].propose(Command.app(f"{prefix}{i}"))
+        if i + 1 < rounds:
+            sim.schedule(interval, tick, i + 1)
+
+    sim.schedule(0.0, tick, 0)
+
+
 class TestPaxosUnderFaults:
+    # The crash/restart schedule used to be hand-coded in this test; it
+    # now runs on the nemesis layer (same shape: random victims, random
+    # downtimes, everyone restarted at the end) with the same invariant.
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(6))
     def test_random_crash_restart_schedule(self, seed):
         sim = Simulator(seed=seed)
         net = SimNetwork(sim, latency=LogNormalLatency(0.004, 0.5), drop_prob=0.05)
         hosts = build_cluster(sim, net, n=5, config=FAST)
-        rng = sim.rng("fault-schedule")
         sim.run_for(1.0)
-        proposer_idx = 0
-        for round_num in range(12):
-            # Propose through whoever currently claims leadership.
-            leaders = [h for h in hosts if h.alive and h.replica.is_leader]
-            if leaders:
-                leaders[0].propose(Command.app(f"r{round_num}"))
-            # Random fault action.
-            action = rng.random()
-            victim = hosts[rng.randrange(len(hosts))]
-            if action < 0.3 and victim.alive:
-                victim.crash()
-            elif action < 0.6 and not victim.alive:
-                victim.restart()
-            sim.run_for(rng.uniform(0.5, 2.0))
-        for h in hosts:
-            if not h.alive:
-                h.restart()
+        pump_proposals(sim, hosts, rounds=12, interval=1.3)
+        storm = CrashRestartStorm(
+            sim,
+            FaultTarget.for_hosts(net, hosts),
+            interval=1.5,
+            downtime=(0.5, 2.5),
+            max_down=2,
+        )
+        storm.start()
+        sim.run_for(16.0)
+        storm.stop()  # restarts anything still down
+        assert any(e.action == "crash" for e in storm.events)
         sim.run_for(15.0)
         assert applied_prefixes_consistent(hosts)
 
@@ -151,5 +163,75 @@ class TestScatterUnderFaults:
         # Consistency: the client's history is linearizable.
         futures = [client.get(f"fk-{i}") for i in range(30)]
         sim.run_for(10.0)
+        check = check_history(client.records)
+        assert check.violations == [], [v.detail for v in check.violations[:3]]
+
+
+class TestAsymmetricPartition:
+    def test_send_only_leader_loses_lease_and_is_replaced(self):
+        """A leader that can send but not receive must not reign forever.
+
+        Inbound isolation is the nasty half of a partition: the victim's
+        heartbeats still reach followers (keeping them loyal), but no ack
+        ever returns, so its lease cannot be renewed and nothing commits.
+        The leader must notice the silence, step down, and a reachable
+        replica must take over within the watchdog window.
+        """
+        sim = Simulator(seed=42)
+        net = SimNetwork(sim, latency=ConstantLatency(0.005))
+        hosts = build_cluster(sim, net, n=5, config=FAST)
+        sim.run_for(3.0)
+        leaders = [h for h in hosts if h.replica.is_leader]
+        assert len(leaders) == 1
+        old = leaders[0]
+        assert old.replica.lease_active
+        pump_proposals(sim, hosts, rounds=60, interval=0.2)
+        watchdog = LivenessWatchdog(
+            sim, lambda: sum(len(h.applied) for h in hosts), window=2.0
+        )
+        watchdog.start()
+        net.isolate_inbound(old.node_id, [h.node_id for h in hosts if h is not old])
+        # No ack can arrive, so the lease lapses within one lease term.
+        sim.run_for(FAST.lease_duration + 0.1)
+        assert not old.replica.lease_active
+        sim.run_for(8.0)
+        new_leaders = [h for h in hosts if h.replica.is_leader]
+        assert new_leaders and old not in new_leaders, "no replacement leader"
+        watchdog.stop()
+        # Progress stalled during the takeover but resumed: the election
+        # happened inside the watchdog window, not at the end of time.
+        assert not watchdog.unrecovered
+        assert watchdog.max_stall < 6.0
+        assert applied_prefixes_consistent(hosts)
+
+
+class TestDuplicateDelivery:
+    def test_commands_apply_exactly_once_under_duplication(self):
+        """With at-least-once delivery, dedup must keep puts exactly-once.
+
+        Every put bumps the key's version, so N acknowledged puts must
+        leave the version at exactly N: one double-applied command (a
+        duplicated ClientOpReq proposed into two slots) would overshoot.
+        """
+        sim = Simulator(seed=11)
+        net = SimNetwork(sim, latency=LogNormalLatency(0.004, 0.4), dup_prob=0.25)
+        system = ScatterSystem.build(sim, net, n_nodes=12, n_groups=3, config=fast_config())
+        sim.run_for(2.0)
+        client = make_client(sim, net, system)
+        n_puts = 30
+        for i in range(n_puts):
+            fut = client.put("dup-key", i)
+            deadline = sim.now + 10.0
+            while not fut.done and sim.now < deadline:
+                sim.run_for(0.1)
+            assert fut.done and fut.result().ok
+        assert net.stats.duplicated > 0, "duplication never kicked in"
+        fut = client.get("dup-key")
+        sim.run_for(2.0)
+        result = fut.result()
+        assert result.ok and result.value == n_puts - 1
+        assert result.version == n_puts, (
+            f"version {result.version} != {n_puts}: a duplicate applied twice"
+        )
         check = check_history(client.records)
         assert check.violations == [], [v.detail for v in check.violations[:3]]

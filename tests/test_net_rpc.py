@@ -252,3 +252,27 @@ class TestNodeRpc:
         sim, net, a, b = self._cluster()
         b.shutdown()
         assert "b" not in net.addresses()
+
+    def test_crash_fails_pending_rpc_futures(self):
+        # A crashing caller must fail its in-flight RPCs immediately, not
+        # leave them dangling until the timeout timer (which it cancelled).
+        sim, net, a, b = self._cluster()
+        f = a.request("b", Slow(5.0), timeout=30.0)
+        sim.run_for(0.05)
+        assert not f.done
+        a.crash()
+        assert f.done
+        with pytest.raises(RpcTimeout):
+            f.result()
+        assert not a._pending_rpcs
+
+    def test_fired_timers_are_pruned(self):
+        sim, net, a, b = self._cluster()
+        for i in range(300):
+            a.set_timer(0.001 * (i + 1), lambda: None)
+        sim.run_for(1.0)
+        # All 300 have fired; the next set_timer crosses the prune
+        # threshold and must drop them rather than keep them forever.
+        assert len(a._timers) > 256
+        a.set_timer(1.0, lambda: None)
+        assert len(a._timers) == 1
