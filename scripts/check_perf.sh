@@ -1,0 +1,12 @@
+#!/bin/sh
+# One-command perf regression check: run the repro.perf microbenchmarks
+# and compare against the committed BENCH_SIM.json, failing on any
+# benchmark that drops below 0.6x its recorded throughput (the slack
+# absorbs wall-clock noise on shared machines; genuine hot-path
+# regressions are far larger).  The report is rewritten in place so an
+# intentional perf change shows up as a BENCH_SIM.json diff for review.
+#
+# Usage: scripts/check_perf.sh [extra `repro perf` flags]
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m repro perf --json BENCH_SIM.json --fail-below 0.6 "$@"

@@ -6,6 +6,8 @@ Usage::
     python -m repro run E2 E11 --full --seed 7
     python -m repro churn --backend scatter --lifetime 120 --duration 90
     python -m repro nemesis gray_failure --backend scatter --duration 60
+    python -m repro profile E6 --top 20
+    python -m repro perf --json BENCH_SIM.json
 """
 
 from __future__ import annotations
@@ -101,6 +103,63 @@ def _cmd_nemesis(args: argparse.Namespace) -> int:
     return 0 if metrics["recovered"] and metrics["violations"] == 0 else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf.profile import profile_experiment
+
+    try:
+        result, stats_text = profile_experiment(
+            args.experiment, quick=not args.full, seed=args.seed,
+            sort=args.sort, top=args.top,
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(result.render())
+    print()
+    print(stats_text)
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.perf.microbench import (
+        attach_baseline,
+        compare_benchmarks,
+        load_bench_file,
+        render_report,
+        run_microbenchmarks,
+        write_bench_file,
+    )
+
+    report = run_microbenchmarks(quick=args.quick, repeat=args.repeat)
+    comparison = None
+    if args.json and os.path.exists(args.json):
+        previous = load_bench_file(args.json)
+        comparison = compare_benchmarks(previous, report)
+        # The pre-PR reference measurement rides along across rewrites.
+        if "pre_pr_baseline" in previous:
+            attach_baseline(report, previous["pre_pr_baseline"])
+    print(render_report(report, comparison))
+    if args.json:
+        write_bench_file(report, args.json)
+        print(f"\nwrote {args.json}")
+    if args.fail_below and comparison:
+        regressed = [
+            c for c in comparison
+            if c["ratio"] is not None and c["ratio"] < args.fail_below
+        ]
+        for c in regressed:
+            print(
+                f"REGRESSION: {c['name']} {c['old']:,.0f} -> {c['new']:,.0f} "
+                f"{c['metric']} ({c['ratio']:.2f}x < {args.fail_below}x)",
+                file=sys.stderr,
+            )
+        if regressed:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -138,6 +197,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_nem.add_argument("--duration", type=float, default=40.0)
     p_nem.add_argument("--seed", type=int, default=1)
     p_nem.set_defaults(fn=_cmd_nemesis)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one experiment under cProfile and print hot frames"
+    )
+    p_prof.add_argument("experiment", help="e.g. E6")
+    p_prof.add_argument("--full", action="store_true", help="paper-scale run (slow)")
+    p_prof.add_argument("--seed", type=int, default=None)
+    p_prof.add_argument("--sort", choices=["tottime", "cumulative", "ncalls"],
+                        default="tottime")
+    p_prof.add_argument("--top", type=int, default=25, help="frames to print")
+    p_prof.set_defaults(fn=_cmd_profile)
+
+    p_perf = sub.add_parser(
+        "perf", help="simulator wall-clock microbenchmarks (events/sec etc.)"
+    )
+    p_perf.add_argument("--json", metavar="PATH", default=None,
+                        help="write report to PATH (comparing against it first "
+                             "if it exists), e.g. BENCH_SIM.json")
+    p_perf.add_argument("--quick", action="store_true",
+                        help="small workloads (smoke test, not for BENCH_SIM.json)")
+    p_perf.add_argument("--repeat", type=int, default=3,
+                        help="runs per benchmark; best is kept")
+    p_perf.add_argument("--fail-below", type=float, default=None, metavar="RATIO",
+                        help="exit 1 if any benchmark falls below RATIO x the "
+                             "previous report (use ~0.6 to absorb CI noise)")
+    p_perf.set_defaults(fn=_cmd_perf)
     return parser
 
 

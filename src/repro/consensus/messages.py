@@ -8,7 +8,7 @@ from repro.consensus.commands import Command
 from repro.consensus.single import Ballot
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Phase 1a for every slot >= from_slot."""
 
@@ -16,7 +16,7 @@ class Prepare:
     from_slot: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Promise:
     """Phase 1b: accepted suffix plus the acceptor's commit index."""
 
@@ -26,14 +26,14 @@ class Promise:
     commit_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareNack:
     ballot: Ballot
     promised: Ballot
     lease_holder: str | None = None  # set when rejected because of a live lease
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accept:
     """Phase 2a for one slot; piggybacks the leader's commit index."""
 
@@ -43,20 +43,20 @@ class Accept:
     commit_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accepted:
     ballot: Ballot
     slot: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcceptNack:
     ballot: Ballot
     slot: int
     promised: Ballot
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """Leader liveness + commit propagation + lease renewal."""
 
@@ -65,14 +65,14 @@ class Heartbeat:
     send_time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatAck:
     ballot: Ballot
     send_time: float
     applied_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferLease:
     """Leadership handoff: the current leader blesses ``target``.
 
@@ -84,7 +84,7 @@ class TransferLease:
     target: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NotMember:
     """Tells an ex-member it was removed by a committed config change.
 
@@ -96,20 +96,20 @@ class NotMember:
     commit_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CatchupRequest:
     """Ask a peer for chosen entries starting at from_slot."""
 
     from_slot: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CatchupReply:
     entries: tuple[tuple[int, Command], ...]
     commit_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallSnapshot:
     """State transfer for a peer too far behind a compacted log.
 

@@ -10,7 +10,7 @@ from repro.store.kvstore import KvOp, KvResult
 from repro.txn.spec import TxnSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupMsg:
     """Frames a Paxos message with its group id so hosts can demux."""
 
@@ -18,7 +18,7 @@ class GroupMsg:
     inner: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientOpReq:
     """A storage operation sent by a client to some node.
 
@@ -33,7 +33,7 @@ class ClientOpReq:
     ttl: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientOpResp:
     """Reply to a client operation.
 
@@ -55,24 +55,24 @@ class ClientOpResp:
     groups: tuple[GroupInfo, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinLookupReq:
     """A joining node asks a seed where to join."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinLookupResp:
     target: GroupInfo | None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupJoinReq:
     """Ask a group's leader to add the sender as a member."""
 
     gid: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupJoinResp:
     """``status``: ok | not_leader | busy | unknown_group | moved."""
 
@@ -82,40 +82,40 @@ class GroupJoinResp:
     groups: tuple[GroupInfo, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupLeaveReq:
     """Graceful departure: ask the leader to remove the sender."""
 
     gid: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WelcomeMsg:
     """Shipped to a node added by migration so it can host the group."""
 
     genesis: GroupGenesis
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnPrepareReq:
     gid: str
     spec: TxnSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnCommitReq:
     gid: str
     spec: TxnSpec
     data: dict = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnAbortReq:
     gid: str
     spec: TxnSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnResp:
     """status: prepared | refused | committed | aborted | dup | ignored |
     not_leader | unknown_group."""
@@ -125,12 +125,12 @@ class TxnResp:
     leader_hint: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnStatusReq:
     spec: TxnSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnStatusResp:
     """status: committed | aborted | unknown."""
 
@@ -138,14 +138,14 @@ class TxnStatusResp:
     data: dict = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupNeighborsReq:
     """Ask a group's leader for its fresh info and adjacency pointers."""
 
     gid: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupNeighborsResp:
     """status: ok | not_leader | unknown_group | moved."""
 
@@ -157,11 +157,11 @@ class GroupNeighborsResp:
     groups: tuple[GroupInfo, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipReq:
     """Ask a peer for a sample of its routing knowledge."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipResp:
     infos: tuple[GroupInfo, ...]

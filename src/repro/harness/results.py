@@ -7,13 +7,20 @@ from dataclasses import dataclass, field
 
 @dataclass
 class ExperimentResult:
-    """Rows regenerating one of the paper's tables or figures."""
+    """Rows regenerating one of the paper's tables or figures.
+
+    ``rows`` are deterministic in (configuration, seed) — the
+    determinism tests compare them byte-for-byte.  Wall-clock
+    measurements (simulator events/sec and friends) therefore live in
+    ``perf``, which is rendered but never compared.
+    """
 
     experiment: str
     title: str
     columns: list[str]
     rows: list[dict] = field(default_factory=list)
     notes: str = ""
+    perf: dict = field(default_factory=dict)
 
     def add(self, **row) -> None:
         self.rows.append(row)
@@ -22,7 +29,11 @@ class ExperimentResult:
         return [row.get(name) for row in self.rows]
 
     def render(self) -> str:
-        return format_table(self.title, self.columns, self.rows, self.notes)
+        table = format_table(self.title, self.columns, self.rows, self.notes)
+        if self.perf:
+            parts = ", ".join(f"{k}={_fmt(v)}" for k, v in self.perf.items())
+            table += f"\nwall-clock: {parts}"
+        return table
 
 
 def _fmt(value) -> str:

@@ -115,8 +115,9 @@ def spawn(sim: Simulator, gen: Proc) -> Future:
     value the generator resumes with that value; when it resolves with an
     exception, the exception is thrown into the generator at the yield
     point so it can ``try/except`` failures like timeouts.  Each resume
-    happens via ``sim.call_soon`` so process steps interleave with message
-    deliveries in deterministic event order.
+    happens via ``sim.call_soon_fire`` so process steps interleave with
+    message deliveries in deterministic event order (resumes are never
+    cancelled, so the fire-and-forget path applies).
     """
     done = Future()
 
@@ -139,8 +140,8 @@ def spawn(sim: Simulator, gen: Proc) -> Future:
             )
             return
         waited.add_callback(
-            lambda f: sim.call_soon(step, None if f.exception else f._result, f.exception)
+            lambda f: sim.call_soon_fire(step, None if f.exception else f._result, f.exception)
         )
 
-    sim.call_soon(step, None, None)
+    sim.call_soon_fire(step, None, None)
     return done

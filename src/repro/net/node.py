@@ -14,7 +14,7 @@ from repro.sim.network import SimNetwork
 _rpc_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Envelope:
     """Wire wrapper.  kind is 'msg' (one-way), 'req', 'resp', or 'err'."""
 

@@ -1,0 +1,33 @@
+"""Wall-clock performance layer for the simulation core.
+
+The simulator's speed is what bounds every experiment's scale, so it is
+measured like any other system property:
+
+- :mod:`repro.perf.microbench` — microbenchmarks for raw event
+  throughput, network send/deliver, and end-to-end ops/sec, plus the
+  ``BENCH_SIM.json`` emitter that tracks the trajectory across PRs.
+- :mod:`repro.perf.profile` — run any experiment under ``cProfile`` and
+  report the hot frames (``python -m repro profile E6``).
+
+Unlike everything else in this repository, these numbers are *not*
+deterministic — they measure the host.  The microbenchmarks fix seeds so
+the simulated work is identical run to run; only the wall-clock varies.
+"""
+
+from repro.perf.microbench import (
+    BENCH_FILENAME,
+    compare_benchmarks,
+    load_bench_file,
+    run_microbenchmarks,
+    write_bench_file,
+)
+from repro.perf.profile import profile_experiment
+
+__all__ = [
+    "BENCH_FILENAME",
+    "compare_benchmarks",
+    "load_bench_file",
+    "profile_experiment",
+    "run_microbenchmarks",
+    "write_bench_file",
+]

@@ -1,0 +1,293 @@
+"""Microbenchmarks for the simulation core's wall-clock throughput.
+
+Each benchmark runs a fixed, seeded simulated workload and reports how
+fast the host chewed through it.  The simulated work is bit-identical
+between runs and between machines; only the wall-clock differs.  Every
+metric is "bigger is better" (events, messages, or operations per
+wall-clock second).
+
+The suite is the source of ``BENCH_SIM.json``, committed at the repo
+root so the perf trajectory is reviewable across PRs and regressions
+are a one-command check (``scripts/check_perf.sh``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Callable
+
+from repro.sim.latency import ConstantLatency, LogNormalLatency
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+
+BENCH_FILENAME = "BENCH_SIM.json"
+
+# Regressions smaller than this ratio are treated as wall-clock noise by
+# compare_benchmarks callers (shared CI boxes jitter easily by 20-30%).
+DEFAULT_TOLERANCE = 0.6
+
+
+# ---------------------------------------------------------------------------
+# Individual benchmarks.  Each returns work-units completed; the runner
+# divides by wall time.
+# ---------------------------------------------------------------------------
+def _bench_event_throughput(n: int) -> Callable[[], int]:
+    """Raw event loop: one self-rescheduling tick, fire-and-forget path."""
+
+    def run() -> int:
+        sim = Simulator(seed=1)
+        count = [0]
+        fire = sim.schedule_fire
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < n:
+                fire(0.001, tick)
+        fire(0.0, tick)
+        sim.run()
+        return count[0]
+
+    return run
+
+
+def _bench_event_throughput_handles(n: int) -> Callable[[], int]:
+    """Handle-based scheduling with a cancellation on every other event —
+    exercises EventHandle allocation plus lazy deletion."""
+
+    def run() -> int:
+        sim = Simulator(seed=1)
+        count = [0]
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < n:
+                sim.schedule(0.001, tick)
+                sim.schedule(0.002, tick).cancel()
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    return run
+
+
+def _bench_net_send_deliver(n: int) -> Callable[[], int]:
+    """Two endpoints ping-pong over a fault-free network (fast path)."""
+
+    def run() -> int:
+        sim = Simulator(seed=1)
+        net = SimNetwork(sim, latency=ConstantLatency(0.001))
+        got = [0]
+        def pong(src: str, msg: Any) -> None:
+            got[0] += 1
+            if got[0] < n:
+                net.send("b", "a", msg)
+        def ping(src: str, msg: Any) -> None:
+            got[0] += 1
+            if got[0] < n:
+                net.send("a", "b", msg)
+        net.register("a", ping)
+        net.register("b", pong)
+        net.send("a", "b", "ping")
+        sim.run()
+        return got[0]
+
+    return run
+
+
+def _bench_net_send_deliver_faulty(n: int) -> Callable[[], int]:
+    """Same ping-pong with drop/dup/slowdown active (slow path)."""
+
+    def run() -> int:
+        sim = Simulator(seed=1)
+        net = SimNetwork(sim, latency=ConstantLatency(0.001), drop_prob=0.01, dup_prob=0.01)
+        net.set_link_slowdown("c", "d", 4.0)  # unrelated link; keeps slow path on
+        got = [0]
+        def pong(src: str, msg: Any) -> None:
+            got[0] += 1
+            if got[0] < n:
+                net.send("b", "a", msg)
+        def ping(src: str, msg: Any) -> None:
+            got[0] += 1
+            if got[0] < n:
+                net.send("a", "b", msg)
+        net.register("a", ping)
+        net.register("b", pong)
+        def kick() -> None:
+            # Drops kill the ping-pong chain; restart it until done.
+            if got[0] < n:
+                net.send("a", "b", "ping")
+                sim.schedule_fire(0.5, kick)
+        kick()
+        sim.run()
+        return got[0]
+
+    return run
+
+
+def _bench_e2e_ops(duration: float) -> Callable[[], int]:
+    """End-to-end: a small Scatter deployment under closed-loop load.
+
+    Returns simulator events processed (the unit the optimizations
+    target); the ops count is reported via the ``extra`` hook.
+    """
+
+    def run() -> int:
+        # Imported lazily: the harness pulls in the whole stack and the
+        # event/net benches should not pay for that.
+        from repro.harness.builders import DeploymentParams, build_scatter_deployment
+        from repro.workloads import UniformKeys
+        from repro.workloads.driver import ClosedLoopWorkload
+
+        params = DeploymentParams(
+            n_nodes=12, n_groups=4, n_clients=2, seed=1,
+            latency=LogNormalLatency(0.004, 0.4),
+        )
+        deployment = build_scatter_deployment(params)
+        workload = ClosedLoopWorkload(
+            deployment.sim, deployment.clients, UniformKeys(64), read_fraction=0.5
+        )
+        workload.start()
+        deployment.sim.run_for(duration)
+        workload.stop()
+        run.ops = len(workload.all_records())  # type: ignore[attr-defined]
+        return deployment.sim.events_processed
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+def run_microbenchmarks(quick: bool = False, repeat: int = 3) -> dict:
+    """Run the suite; return a JSON-ready report.
+
+    ``repeat`` runs each benchmark several times and keeps the best —
+    the standard defence against scheduler noise.  ``quick`` shrinks the
+    workloads for tests and smoke runs.
+    """
+    n_events = 30_000 if quick else 300_000
+    n_msgs = 20_000 if quick else 200_000
+    e2e_duration = 5.0 if quick else 30.0
+
+    specs: list[tuple[str, str, Callable[[], int]]] = [
+        ("event_throughput", "events_per_s", _bench_event_throughput(n_events)),
+        ("event_throughput_handles", "events_per_s", _bench_event_throughput_handles(n_events)),
+        ("net_send_deliver", "msgs_per_s", _bench_net_send_deliver(n_msgs)),
+        ("net_send_deliver_faulty", "msgs_per_s", _bench_net_send_deliver_faulty(n_msgs)),
+        ("e2e_scatter_ops", "events_per_s", _bench_e2e_ops(e2e_duration)),
+    ]
+
+    benchmarks = []
+    for name, metric, fn in specs:
+        best_rate = 0.0
+        best_units = 0
+        best_wall = 0.0
+        for _ in range(max(1, repeat)):
+            t0 = time.perf_counter()
+            units = fn()
+            wall = time.perf_counter() - t0
+            rate = units / wall if wall > 0 else 0.0
+            if rate > best_rate:
+                best_rate, best_units, best_wall = rate, units, wall
+        entry = {
+            "name": name,
+            "metric": metric,
+            "value": round(best_rate, 1),
+            "units_completed": best_units,
+            "wall_s": round(best_wall, 4),
+        }
+        ops = getattr(fn, "ops", None)
+        if ops is not None:
+            entry["ops_completed"] = ops
+            entry["ops_per_s"] = round(ops / best_wall, 1) if best_wall > 0 else 0.0
+        benchmarks.append(entry)
+
+    return {
+        "schema": 1,
+        "quick": quick,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+    }
+
+
+# ---------------------------------------------------------------------------
+# BENCH_SIM.json emit / compare
+# ---------------------------------------------------------------------------
+def write_bench_file(report: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_bench_file(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_benchmarks(old: dict, new: dict) -> list[dict]:
+    """Per-benchmark ratio of new/old throughput (by matching name).
+
+    Returns one row per benchmark present in ``new``; ``ratio`` is None
+    when the old report lacks that benchmark (or measured a different
+    workload size, which would make the ratio meaningless to threshold).
+    """
+    old_by_name = {b["name"]: b for b in old.get("benchmarks", [])}
+    comparable = old.get("quick") == new.get("quick")
+    rows = []
+    for bench in new.get("benchmarks", []):
+        prev = old_by_name.get(bench["name"])
+        ratio = None
+        if prev and comparable and prev.get("value"):
+            ratio = bench["value"] / prev["value"]
+        rows.append(
+            {
+                "name": bench["name"],
+                "metric": bench["metric"],
+                "old": prev.get("value") if prev else None,
+                "new": bench["value"],
+                "ratio": round(ratio, 3) if ratio is not None else None,
+            }
+        )
+    return rows
+
+
+def attach_baseline(report: dict, baseline: dict) -> None:
+    """Embed a fixed reference measurement and per-benchmark speedups.
+
+    ``baseline`` holds ``values`` (name -> throughput) measured once on
+    some reference revision — e.g. the pre-optimization event loop — and
+    a ``description`` saying what that revision was.  It is carried
+    forward verbatim by ``repro perf --json`` so the speedup column
+    survives report rewrites.  Speedups are only attached when the
+    workloads match (same ``quick`` flag).
+    """
+    report["pre_pr_baseline"] = baseline
+    if baseline.get("quick") != report.get("quick"):
+        return
+    values = baseline.get("values", {})
+    for bench in report["benchmarks"]:
+        ref = values.get(bench["name"])
+        if ref:
+            bench["speedup_vs_pre_pr"] = round(bench["value"] / ref, 2)
+
+
+def render_report(report: dict, comparison: list[dict] | None = None) -> str:
+    """Human-readable table of a report, optionally with old/new ratios."""
+    lines = [
+        f"simulator microbenchmarks  (python {report['python']}, "
+        f"{'quick' if report['quick'] else 'full'} workloads, best of {report['repeat']})"
+    ]
+    ratio_by_name = {c["name"]: c for c in comparison or []}
+    for bench in report["benchmarks"]:
+        line = f"  {bench['name']:<26} {bench['value']:>12,.0f} {bench['metric']}"
+        if "ops_per_s" in bench:
+            line += f"  ({bench['ops_per_s']:,.0f} ops/s)"
+        if "speedup_vs_pre_pr" in bench:
+            line += f"  [{bench['speedup_vs_pre_pr']:.2f}x vs pre-PR]"
+        cmp_row = ratio_by_name.get(bench["name"])
+        if cmp_row and cmp_row["ratio"] is not None:
+            line += f"  [{cmp_row['ratio']:.2f}x vs previous]"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Run an experiment under cProfile and report the hot frames.
+
+``python -m repro profile E6 --top 20`` answers "where does the wall
+clock go" for any registered experiment — the tool that guided the
+simulator hot-path optimization and should guide the next one.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+VALID_SORTS = ("tottime", "cumulative", "ncalls")
+
+
+def profile_experiment(
+    name: str,
+    quick: bool = True,
+    seed: int | None = None,
+    sort: str = "tottime",
+    top: int = 25,
+):
+    """Profile one experiment run; returns ``(result, stats_text)``.
+
+    ``name`` is an experiment key like ``"E6"`` (see
+    ``repro.harness.experiments.ALL_EXPERIMENTS``).  ``sort`` is a
+    pstats sort key: ``tottime`` shows the hot frames themselves,
+    ``cumulative`` shows which subsystems the time flows through.
+    """
+    # Lazy import: keeps `repro.perf` importable without the full stack.
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    key = name.upper()
+    if key not in ALL_EXPERIMENTS:
+        known = ", ".join(sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    if sort not in VALID_SORTS:
+        raise ValueError(f"sort must be one of {VALID_SORTS}, got {sort!r}")
+
+    kwargs: dict = {"quick": quick}
+    if seed is not None:
+        kwargs["seed"] = seed
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = ALL_EXPERIMENTS[key](**kwargs)
+    finally:
+        profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(sort).print_stats(top)
+    return result, buf.getvalue()

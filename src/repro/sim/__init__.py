@@ -11,7 +11,7 @@ experiments are repeatable and failures are debuggable.  To that end:
   number, never by object identity.
 """
 
-from repro.sim.events import Event, EventHandle, EventQueue
+from repro.sim.events import EventHandle, EventQueue
 from repro.sim.latency import (
     ConstantLatency,
     LatencyModel,
@@ -24,7 +24,6 @@ from repro.sim.network import NetworkStats, SimNetwork
 
 __all__ = [
     "ConstantLatency",
-    "Event",
     "EventHandle",
     "EventQueue",
     "LatencyModel",

@@ -3,9 +3,15 @@
 from __future__ import annotations
 
 import random
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.sim.events import EventHandle, EventQueue
+
+# The run loops index heap entries with literal ints rather than the
+# named constants from repro.sim.events: a LOAD_GLOBAL per access is
+# measurable at millions of events per second.  Layout: [time, seq, fn,
+# args] with fn None once cancelled or popped (see events.py).
 
 
 class Simulator:
@@ -16,6 +22,11 @@ class Simulator:
     next event.  Randomness is obtained through :meth:`rng`, which hands
     out independent, deterministically seeded streams keyed by name, so
     adding a new consumer of randomness never perturbs existing streams.
+
+    The run loops (:meth:`run`, :meth:`run_until`) operate directly on
+    the event heap rather than going through :meth:`step` — at millions
+    of events per run the per-event method-call overhead is the dominant
+    cost, and the ``repro.perf`` microbenchmarks track exactly this.
     """
 
     def __init__(self, seed: int = 0) -> None:
@@ -64,6 +75,24 @@ class Simulator:
             raise ValueError(f"negative delay: {delay}")
         return self._queue.push(self._now + delay, fn, args)
 
+    def schedule_fire(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Like :meth:`schedule` but fire-and-forget: no cancellation handle.
+
+        Use for events that are never cancelled (message deliveries,
+        one-shot continuations) — it skips the ``EventHandle`` allocation
+        on the simulator's hottest path while consuming the same sequence
+        number, so interleaving with handle-based scheduling is
+        unchanged.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        # Inlined EventQueue.push_fire: this is the hottest scheduling
+        # call in the simulator and the extra frame is measurable.
+        queue = self._queue
+        heappush(queue._heap, [self._now + delay, queue._seq, fn, args])
+        queue._seq += 1
+        queue._live += 1
+
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Run ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
@@ -74,30 +103,53 @@ class Simulator:
         """Run ``fn(*args)`` at the current time, after pending same-time events."""
         return self._queue.push(self._now, fn, args)
 
+    def call_soon_fire(self, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`call_soon` (no handle allocation)."""
+        queue = self._queue
+        heappush(queue._heap, [self._now, queue._seq, fn, args])
+        queue._seq += 1
+        queue._live += 1
+
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process one event.  Returns False when the queue is empty."""
-        event = self._queue.pop()
-        if event is None:
+        popped = self._queue.pop()
+        if popped is None:
             return False
-        assert event.time >= self._now, "event heap returned a past event"
-        self._now = event.time
+        time, fn, args = popped
+        assert time >= self._now, "event heap returned a past event"
+        self._now = time
         self._events_processed += 1
-        event.fn(*event.args)
+        fn(*args)
         return True
 
     def run(self, max_events: int | None = None) -> None:
         """Run until the queue drains (or ``max_events`` is hit)."""
         self._stopped = False
+        queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        # The processed/live counters are accumulated locally and flushed
+        # additively in ``finally``, so nested run loops (an event handler
+        # calling run_until) and raising handlers stay consistent.
         processed = 0
-        while not self._stopped:
-            if max_events is not None and processed >= max_events:
-                return
-            if not self.step():
-                return
-            processed += 1
+        try:
+            while heap and not self._stopped:
+                if max_events is not None and processed >= max_events:
+                    return
+                entry = pop(heap)
+                fn = entry[2]
+                if fn is None:
+                    continue
+                entry[2] = None
+                processed += 1
+                self._now = entry[0]
+                fn(*entry[3])
+        finally:
+            queue._live -= processed
+            self._events_processed += processed
 
     def run_until(self, time: float) -> None:
         """Run events with timestamp <= ``time``; leave the clock at ``time``.
@@ -107,11 +159,27 @@ class Simulator:
         composable.
         """
         self._stopped = False
-        while not self._stopped:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > time:
-                break
-            self.step()
+        queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        processed = 0
+        try:
+            while heap and not self._stopped:
+                entry = heap[0]
+                fn = entry[2]
+                if fn is None:
+                    pop(heap)
+                    continue
+                if entry[0] > time:
+                    break
+                pop(heap)
+                entry[2] = None
+                processed += 1
+                self._now = entry[0]
+                fn(*entry[3])
+        finally:
+            queue._live -= processed
+            self._events_processed += processed
         if self._now < time:
             self._now = time
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Any, Callable
 
 from repro.sim.latency import ConstantLatency, LatencyModel
@@ -38,19 +39,27 @@ Handler = Callable[[str, Any], None]
 
 @dataclass
 class NetworkStats:
-    """Counters for traffic accounting (used by the scalability bench)."""
+    """Counters for traffic accounting (used by the scalability bench).
+
+    Per-message-type counting (``by_type``) costs a ``type(msg).__name__``
+    plus dict churn on *every* send, so it is opt-in: benches that read
+    the breakdown set ``count_types=True``; everyone else pays only the
+    integer increments.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
     to_dead: int = 0
     duplicated: int = 0
+    count_types: bool = False
     by_type: dict[str, int] = field(default_factory=dict)
 
     def note_sent(self, msg: Any) -> None:
         self.sent += 1
-        name = type(msg).__name__
-        self.by_type[name] = self.by_type.get(name, 0) + 1
+        if self.count_types:
+            name = type(msg).__name__
+            self.by_type[name] = self.by_type.get(name, 0) + 1
 
 
 class SimNetwork:
@@ -69,14 +78,58 @@ class SimNetwork:
             raise ValueError("dup_prob must be in [0, 1)")
         self.sim = sim
         self.latency = latency or ConstantLatency()
-        self.drop_prob = drop_prob
-        self.dup_prob = dup_prob
+        self._drop_prob = drop_prob
+        self._dup_prob = dup_prob
         self.stats = NetworkStats()
         self._handlers: dict[str, Handler] = {}
         self._down: set[str] = set()
         self._blocked_pairs: set[tuple[str, str]] = set()
         self._slowdowns: dict[tuple[str, str], float] = {}
         self._rng = sim.rng("net")
+        self._fault_free = True
+        self._refresh_fast_path()
+
+    # ------------------------------------------------------------------
+    # Fault-free fast path bookkeeping
+    # ------------------------------------------------------------------
+    # ``send`` skips all send-time fault checks when no fault feature is
+    # active — the overwhelmingly common case in scalability runs.  The
+    # flag is recomputed on every fault-state mutation, never per send.
+    # Delivery-time checks stay unconditional, so a fault injected while
+    # a message is in flight still applies (e.g. the destination crashes
+    # before delivery).  The fast path consumes exactly the same RNG
+    # stream as the slow path with faults disabled (only the latency
+    # sample), so seeded runs are bit-identical either way.
+    def _refresh_fast_path(self) -> None:
+        self._fault_free = not (
+            self._drop_prob
+            or self._dup_prob
+            or self._down
+            or self._blocked_pairs
+            or self._slowdowns
+        )
+
+    @property
+    def drop_prob(self) -> float:
+        return self._drop_prob
+
+    @drop_prob.setter
+    def drop_prob(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError("drop_prob must be in [0, 1)")
+        self._drop_prob = value
+        self._refresh_fast_path()
+
+    @property
+    def dup_prob(self) -> float:
+        return self._dup_prob
+
+    @dup_prob.setter
+    def dup_prob(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError("dup_prob must be in [0, 1)")
+        self._dup_prob = value
+        self._refresh_fast_path()
 
     # ------------------------------------------------------------------
     # Endpoint lifecycle
@@ -85,17 +138,21 @@ class SimNetwork:
         """Attach ``handler`` to ``address`` and mark it up."""
         self._handlers[address] = handler
         self._down.discard(address)
+        self._refresh_fast_path()
 
     def unregister(self, address: str) -> None:
         self._handlers.pop(address, None)
         self._down.discard(address)
+        self._refresh_fast_path()
 
     def set_down(self, address: str) -> None:
         """Crash an endpoint: it neither sends nor receives until set_up."""
         self._down.add(address)
+        self._fault_free = False
 
     def set_up(self, address: str) -> None:
         self._down.discard(address)
+        self._refresh_fast_path()
 
     def is_up(self, address: str) -> bool:
         return address in self._handlers and address not in self._down
@@ -110,10 +167,12 @@ class SimNetwork:
         """Drop all traffic between ``a`` and ``b`` (both directions)."""
         self._blocked_pairs.add((a, b))
         self._blocked_pairs.add((b, a))
+        self._fault_free = False
 
     def unblock(self, a: str, b: str) -> None:
         self._blocked_pairs.discard((a, b))
         self._blocked_pairs.discard((b, a))
+        self._refresh_fast_path()
 
     def block_one_way(self, src: str, dst: str) -> None:
         """Drop traffic from ``src`` to ``dst`` only (asymmetric partition).
@@ -123,9 +182,11 @@ class SimNetwork:
         "can send but not receive" leader scenario.
         """
         self._blocked_pairs.add((src, dst))
+        self._fault_free = False
 
     def unblock_one_way(self, src: str, dst: str) -> None:
         self._blocked_pairs.discard((src, dst))
+        self._refresh_fast_path()
 
     def isolate_inbound(self, victim: str, peers: list[str] | None = None) -> None:
         """Block all traffic *to* ``victim``: it can send but not receive."""
@@ -148,6 +209,7 @@ class SimNetwork:
     def heal(self) -> None:
         """Remove all partitions (one-way blocks included)."""
         self._blocked_pairs.clear()
+        self._refresh_fast_path()
 
     def is_blocked(self, src: str, dst: str) -> bool:
         return (src, dst) in self._blocked_pairs
@@ -168,6 +230,7 @@ class SimNetwork:
             self._slowdowns.pop((src, dst), None)
         else:
             self._slowdowns[(src, dst)] = factor
+        self._refresh_fast_path()
 
     def set_node_slowdown(self, victim: str, factor: float, peers: list[str] | None = None) -> None:
         """Degrade every link touching ``victim`` (both directions)."""
@@ -178,6 +241,7 @@ class SimNetwork:
 
     def clear_slowdowns(self) -> None:
         self._slowdowns.clear()
+        self._refresh_fast_path()
 
     def link_slowdown(self, src: str, dst: str) -> float:
         return self._slowdowns.get((src, dst), 1.0)
@@ -191,22 +255,48 @@ class SimNetwork:
         Loss, source death, and partitions are decided at send time;
         destination death is decided at delivery time (so a message can be
         lost when the destination crashes in flight — the realistic case).
+
+        When no fault feature is active (no drops, dups, downed nodes,
+        blocks, or slowdowns) a fast path skips every send-time check and
+        schedules delivery fire-and-forget.  Both paths sample the same
+        latency from the same RNG stream, so results are seed-identical.
         """
-        self.stats.note_sent(msg)
+        stats = self.stats
+        stats.sent += 1
+        if stats.count_types:
+            name = type(msg).__name__
+            stats.by_type[name] = stats.by_type.get(name, 0) + 1
+        if self._fault_free:
+            # Inlined sim.schedule_fire: one heap entry, no handle, no
+            # intermediate frames — this line runs once per message.
+            sim = self.sim
+            queue = sim._queue
+            heappush(
+                queue._heap,
+                [
+                    sim._now + self.latency.sample(src, dst, self._rng),
+                    queue._seq,
+                    self._deliver,
+                    (src, dst, msg),
+                ],
+            )
+            queue._seq += 1
+            queue._live += 1
+            return
         if src in self._down:
-            self.stats.dropped += 1
+            stats.dropped += 1
             return
         if (src, dst) in self._blocked_pairs:
-            self.stats.dropped += 1
+            stats.dropped += 1
             return
-        if self.drop_prob > 0 and self._rng.random() < self.drop_prob:
-            self.stats.dropped += 1
+        if self._drop_prob > 0 and self._rng.random() < self._drop_prob:
+            stats.dropped += 1
             return
         self._schedule_delivery(src, dst, msg)
-        if self.dup_prob > 0 and self._rng.random() < self.dup_prob:
+        if self._dup_prob > 0 and self._rng.random() < self._dup_prob:
             # A duplicate travels independently: its own latency sample,
             # so it may arrive before *or* after the original.
-            self.stats.duplicated += 1
+            stats.duplicated += 1
             self._schedule_delivery(src, dst, msg)
 
     def _schedule_delivery(self, src: str, dst: str, msg: Any) -> None:
@@ -214,7 +304,7 @@ class SimNetwork:
         factor = self._slowdowns.get((src, dst))
         if factor is not None:
             delay *= factor
-        self.sim.schedule(delay, self._deliver, src, dst, msg)
+        self.sim.schedule_fire(delay, self._deliver, src, dst, msg)
 
     def _deliver(self, src: str, dst: str, msg: Any) -> None:
         handler = self._handlers.get(dst)

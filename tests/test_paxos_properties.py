@@ -132,9 +132,10 @@ def test_event_queue_pops_in_nondecreasing_time_order(delays, seed):
     for d in delays:
         q.push(d, lambda: None)
     last = -1.0
-    while (e := q.pop()) is not None:
-        assert e.time >= last
-        last = e.time
+    while (popped := q.pop()) is not None:
+        time, _fn, _args = popped
+        assert time >= last
+        last = time
 
 
 @settings(max_examples=100, deadline=None)

@@ -6,6 +6,13 @@ from repro.sim import Simulator
 from repro.sim.events import EventQueue
 
 
+def drain(q):
+    """Pop and fire every live event; return nothing."""
+    while (popped := q.pop()) is not None:
+        _time, fn, args = popped
+        fn(*args)
+
+
 class TestEventQueue:
     def test_pop_order_by_time(self):
         q = EventQueue()
@@ -13,8 +20,7 @@ class TestEventQueue:
         q.push(2.0, fired.append, ("b",))
         q.push(1.0, fired.append, ("a",))
         q.push(3.0, fired.append, ("c",))
-        while (e := q.pop()) is not None:
-            e.fn(*e.args)
+        drain(q)
         assert fired == ["a", "b", "c"]
 
     def test_ties_break_by_insertion_order(self):
@@ -22,8 +28,7 @@ class TestEventQueue:
         order = []
         for i in range(10):
             q.push(1.0, order.append, (i,))
-        while (e := q.pop()) is not None:
-            e.fn(*e.args)
+        drain(q)
         assert order == list(range(10))
 
     def test_cancelled_events_are_skipped(self):
@@ -33,8 +38,7 @@ class TestEventQueue:
         q.push(2.0, fired.append, ("y",))
         h.cancel()
         assert len(q) == 1
-        while (e := q.pop()) is not None:
-            e.fn(*e.args)
+        drain(q)
         assert fired == ["y"]
 
     def test_cancel_is_idempotent(self):
@@ -43,6 +47,21 @@ class TestEventQueue:
         h.cancel()
         h.cancel()
         assert len(q) == 0
+
+    def test_cancel_after_pop_is_noop(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is not None
+        # The event already fired; a late cancel must not fire again or
+        # corrupt the live count.
+        h.cancel()
+        h.cancel()
+        assert h.cancelled  # can no longer fire
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert len(q) == 0
+        assert q.pop() is None
 
     def test_peek_time_skips_cancelled(self):
         q = EventQueue()
@@ -56,6 +75,76 @@ class TestEventQueue:
         assert q.pop() is None
         assert q.peek_time() is None
         assert len(q) == 0
+
+    def test_len_and_peek_consistent_under_cancel_storm(self):
+        # Lazy deletion must never let len()/peek_time() drift from the
+        # ground truth of live events, whatever the cancel pattern.
+        q = EventQueue()
+        handles = {}
+        for i in range(200):
+            handles[i] = q.push(float(i % 17), lambda: None)
+        # Cancel every third, some twice, in a scattered order.
+        for i in list(range(0, 200, 3)) + list(range(0, 200, 6)):
+            handles[i].cancel()
+        live = {i for i in range(200) if not handles[i].cancelled}
+        assert len(q) == len(live)
+        expected_min = min(float(i % 17) for i in live)
+        assert q.peek_time() == expected_min
+        popped = 0
+        while q.pop() is not None:
+            popped += 1
+        assert popped == len(live)
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_cancel_interleaved_with_pop(self):
+        q = EventQueue()
+        fired = []
+        hs = [q.push(float(i), fired.append, (i,)) for i in range(10)]
+        while (popped := q.pop()) is not None:
+            _t, fn, args = popped
+            fn(*args)
+            # Cancel the next event after each fire: only evens run.
+            nxt = args[0] + 1
+            if nxt < 10:
+                hs[nxt].cancel()
+        assert fired == [0, 2, 4, 6, 8]
+        assert len(q) == 0
+
+    def test_push_fire_returns_no_handle(self):
+        q = EventQueue()
+        fired = []
+        assert q.push_fire(1.0, fired.append, ("x",)) is None
+        assert len(q) == 1
+        drain(q)
+        assert fired == ["x"]
+
+    def test_push_fire_interleaves_with_push_deterministically(self):
+        # Fire-and-forget entries consume sequence numbers exactly like
+        # handle-based ones, so same-timestamp ties break by scheduling
+        # order regardless of which path each event used.
+        q = EventQueue()
+        order = []
+        q.push(1.0, order.append, ("h0",))
+        q.push_fire(1.0, order.append, ("f1",))
+        q.push(1.0, order.append, ("h2",))
+        q.push_fire(1.0, order.append, ("f3",))
+        q.push_fire(0.5, order.append, ("f-early",))
+        drain(q)
+        assert order == ["f-early", "h0", "f1", "h2", "f3"]
+
+    def test_push_fire_survives_cancel_storm_around_it(self):
+        q = EventQueue()
+        fired = []
+        before = [q.push(1.0, fired.append, (f"b{i}",)) for i in range(5)]
+        q.push_fire(1.0, fired.append, ("keep",))
+        after = [q.push(1.0, fired.append, (f"a{i}",)) for i in range(5)]
+        for h in before + after:
+            h.cancel()
+        assert len(q) == 1
+        assert q.peek_time() == 1.0
+        drain(q)
+        assert fired == ["keep"]
 
 
 class TestSimulator:
@@ -76,6 +165,22 @@ class TestSimulator:
         sim = Simulator()
         with pytest.raises(ValueError):
             sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_fire_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_fire(-1.0, lambda: None)
+
+    def test_schedule_fire_interleaves_with_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "h0")
+        sim.schedule_fire(1.0, fired.append, "f1")
+        sim.schedule(1.0, fired.append, "h2")
+        sim.call_soon_fire(fired.append, "soon")
+        sim.run()
+        assert fired == ["soon", "h0", "f1", "h2"]
+        assert sim.events_processed == 4
 
     def test_schedule_at_past_rejected(self):
         sim = Simulator()
