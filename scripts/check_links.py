@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Walks every ``*.md`` file in the repository (skipping dot-directories),
+extracts inline links and images (``[text](target)``), and verifies that
+each relative target exists on disk — anchors and external URLs are
+skipped, ``#fragment`` suffixes are stripped before the existence check.
+Stdlib only, so it runs anywhere the repo checks out.
+
+Usage: python scripts/check_links.py  (exit 1 on any broken link)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images; [text](target "title") titles are trimmed below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts[:-1]):
+            continue
+        yield path
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced and inline code so example links are not checked."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check(root: Path) -> list[str]:
+    errors = []
+    for path in iter_markdown(root):
+        for target in LINK_RE.findall(strip_code(path.read_text(encoding="utf-8"))):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            plain = target.split("#", 1)[0]
+            if not plain:
+                continue
+            resolved = (path.parent / plain).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parents[1]
+    errors = check(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative markdown links resolve under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

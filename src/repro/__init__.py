@@ -10,10 +10,13 @@ Most users want one of:
 - :class:`repro.dht.system.ScatterSystem` — build a deployment in the
   simulator (``ScatterSystem.build(sim, net, n_nodes, n_groups)``).
 - :class:`repro.dht.client.ScatterClient` — linearizable get/put/cas.
-- :mod:`repro.harness.experiments` — the paper's evaluation, E1–E15.
-- ``python -m repro`` — the command-line interface over both.
+- :mod:`repro.harness.experiments` — the paper's evaluation, E1–E16.
+- :mod:`repro.obs` — operation-level tracing of any run
+  (``python -m repro trace e05``); see docs/OBSERVABILITY.md.
+- ``python -m repro`` — the command-line interface over all of it.
 
-See README.md for the tour and DESIGN.md for the system inventory.
+See README.md for the tour, docs/ARCHITECTURE.md for the module map,
+and DESIGN.md for the system inventory.
 """
 
 __version__ = "1.0.0"

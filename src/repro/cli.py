@@ -8,6 +8,7 @@ Usage::
     python -m repro nemesis gray_failure --backend scatter --duration 60
     python -m repro profile E6 --top 20
     python -m repro perf --json BENCH_SIM.json
+    python -m repro trace e05 --out trace_E5.jsonl
 """
 
 from __future__ import annotations
@@ -120,6 +121,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_key(name: str) -> str | None:
+    """Normalize 'e05'/'E5'/'5' to the registry key 'E5' (None if unknown)."""
+    text = name.strip().upper()
+    if text.startswith("E"):
+        text = text[1:]
+    if not text.isdigit():
+        return None
+    key = f"E{int(text)}"
+    return key if key in ALL_EXPERIMENTS else None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import run_traced
+    from repro.obs.export import render_breakdown, write_jsonl
+
+    key = _experiment_key(args.experiment)
+    if key is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    started = time.time()
+    result, tracer = run_traced(key, quick=not args.full, seed=args.seed)
+    out = args.out or f"trace_{key}.jsonl"
+    lines = write_jsonl(tracer, out)
+    print(result.render())
+    print()
+    print(render_breakdown(tracer))
+    print(f"\n[{lines} trace lines -> {out}; {key} in {time.time() - started:.1f}s wall]")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     import os
 
@@ -223,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 if any benchmark falls below RATIO x the "
                              "previous report (use ~0.6 to absorb CI noise)")
     p_perf.set_defaults(fn=_cmd_perf)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one experiment with repro.obs tracing on; print the "
+             "per-phase cost breakdown and write a JSONL trace",
+    )
+    p_trace.add_argument("experiment", help="e.g. e05 or E5")
+    p_trace.add_argument("--full", action="store_true", help="paper-scale run (slow)")
+    p_trace.add_argument("--seed", type=int, default=None)
+    p_trace.add_argument("--out", metavar="PATH", default=None,
+                         help="JSONL trace path (default trace_<EXP>.jsonl)")
+    p_trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -62,6 +62,10 @@ class NodeTransport:
     def now(self) -> float:
         return self._node.sim.now
 
+    @property
+    def tracer(self) -> Any:
+        return self._node.sim.tracer
+
     def send(self, dst: str, msg: Any) -> None:
         self._node.send(dst, self._wrap(msg))
 

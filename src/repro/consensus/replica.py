@@ -54,6 +54,7 @@ from repro.consensus.single import BALLOT_ZERO, Ballot
 from repro.consensus.transport import Transport
 from repro.net.futures import Future
 from repro.net.retry import decorrelated_jitter
+from repro.obs.spans import PAXOS_ELECTION, PAXOS_SLOT
 
 
 class NotLeader(Exception):
@@ -110,6 +111,9 @@ class PaxosConfig:
 class _PendingSlot:
     command: Command
     acks: set[str] = field(default_factory=set)
+    # Open repro.obs span covering this slot's accept round(s); None when
+    # tracing is off.
+    span: Any = None
 
 
 class PaxosReplica:
@@ -139,6 +143,10 @@ class PaxosReplica:
         self.restore_fn = restore_fn
         self.config = config or PaxosConfig()
         self._snapshot: Any = None  # latest compacted state
+        # repro.obs tracer, if the transport's simulator has one bound
+        # (None otherwise — the disabled fast path).
+        self.tracer = getattr(transport, "tracer", None)
+        self._election_span: Any = None
 
         # Acceptor state (durable).
         self.promised: Ballot = BALLOT_ZERO
@@ -189,11 +197,29 @@ class PaxosReplica:
     def on_host_restart(self) -> None:
         """Host recovered from a crash: durable state kept, role forgotten."""
         self._reset_leader_state(fail_with=ProposalLost("host restarted"))
+        self._end_election_span("aborted")
         self._campaigning = False
         self.last_leader_contact = self.transport.now
         self._schedule_election_check()
 
+    def _end_election_span(self, outcome: str) -> None:
+        """Close the open election span, recording how the campaign ended."""
+        span = self._election_span
+        if span is not None:
+            self._election_span = None
+            self.tracer.finish(span, outcome=outcome)
+
+    def _fail_pending_spans(self, outcome: str) -> None:
+        """Close spans of in-flight slots that will never reach a quorum here."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        for pending in self._pending.values():
+            if pending.span is not None and pending.span.open:
+                tracer.finish(pending.span, outcome=outcome)
+
     def _reset_leader_state(self, fail_with: Exception) -> None:
+        self._fail_pending_spans("lost")
         self.is_leader = False
         self._barrier_slot = None
         self._read_barrier_slot = None
@@ -218,6 +244,8 @@ class PaxosReplica:
             return
         self.retired = True
         self._reset_leader_state(fail_with=NotLeader(self.leader_hint))
+        self._end_election_span("retired")
+        self._campaigning = False
 
     # ------------------------------------------------------------------
     # Public API (called by the group layer on this replica's host)
@@ -399,6 +427,12 @@ class PaxosReplica:
         self._campaign_promises = {}
         round_num = max(self._max_round_seen, self.promised[0], self.ballot[0]) + 1
         self.ballot = (round_num, self.replica_id)
+        if self.tracer is not None:
+            self._end_election_span("superseded")
+            self.tracer.metrics.inc("paxos.elections")
+            self._election_span = self.tracer.begin(
+                PAXOS_ELECTION, replica=self.replica_id, round=round_num
+            )
         self._note_ballot(self.ballot)
         self._campaign_from_slot = self.log.commit_index + 1
         prepare = Prepare(ballot=self.ballot, from_slot=self._campaign_from_slot)
@@ -411,6 +445,7 @@ class PaxosReplica:
     def _campaign_timeout(self, ballot: Ballot) -> None:
         if self._campaigning and self.ballot == ballot and not self.is_leader:
             self._campaigning = False
+            self._end_election_span("timeout")
 
     def _on_prepare(self, src: str, msg: Prepare) -> None:
         self._note_ballot(msg.ballot)
@@ -458,6 +493,7 @@ class PaxosReplica:
         if msg.ballot != self.ballot or not self._campaigning:
             return
         self._campaigning = False
+        self._end_election_span("rejected")
         if msg.lease_holder is not None:
             # Defer to the live lease: treat it as leader contact so the
             # election check backs off for a full timeout.
@@ -478,10 +514,15 @@ class PaxosReplica:
                 best_commit = promise.commit_index
                 best_peer = peer
         if best_peer is not None:
+            self._end_election_span("catchup")
             self._request_catchup(best_peer)
             return  # the election check will retry once caught up
         self.is_leader = True
         self.leader_hint = self.replica_id
+        if self.tracer is not None:
+            self.tracer.metrics.inc("paxos.leader_elected")
+            self._end_election_span("won")
+        self._fail_pending_spans("superseded")
         self._pending.clear()
         self._hb_acks.clear()
         self.member_last_ack = {m: self.transport.now for m in self.members}
@@ -538,7 +579,13 @@ class PaxosReplica:
             self._issue(command, future)
 
     def _send_accepts(self, slot: int, command: Command) -> None:
-        self._pending[slot] = _PendingSlot(command=command)
+        pending = _PendingSlot(command=command)
+        if self.tracer is not None:
+            self.tracer.metrics.inc("paxos.accept_rounds")
+            pending.span = self.tracer.begin(
+                PAXOS_SLOT, slot=slot, leader=self.replica_id, cmd=command.kind
+            )
+        self._pending[slot] = pending
         msg = Accept(
             ballot=self.ballot, slot=slot, command=command, commit_index=self.log.commit_index
         )
@@ -595,6 +642,10 @@ class PaxosReplica:
         if len(pending.acks) >= self._majority():
             del self._pending[msg.slot]
             self._retry_delay = None
+            if self.tracer is not None:
+                self.tracer.metrics.inc("paxos.slots_chosen")
+                if pending.span is not None and pending.span.open:
+                    self.tracer.finish(pending.span, outcome="chosen")
             self.log.mark_chosen(msg.slot, pending.command)
             self._apply_committed()
             if self._barrier_slot == msg.slot:
@@ -654,6 +705,8 @@ class PaxosReplica:
                 self.transport.send(member, hb)
         if len(self.members) == 1:
             self._lease_until = now + self.config.lease_duration
+        if self.tracer is not None:
+            self.tracer.metrics.inc("paxos.heartbeats")
         self.transport.set_timer(self.config.heartbeat_interval, self._heartbeat_tick, ballot)
 
     def _on_heartbeat(self, src: str, msg: Heartbeat) -> None:
@@ -698,6 +751,9 @@ class PaxosReplica:
         """
         if not self.is_leader or self.ballot != ballot or self.retired:
             return
+        if self.tracer is not None and self._pending:
+            self.tracer.metrics.inc("paxos.retransmissions", len(self._pending))
+            self.tracer.metrics.inc("paxos.accept_rounds", len(self._pending))
         for slot, pending in sorted(self._pending.items()):
             msg = Accept(
                 ballot=self.ballot,

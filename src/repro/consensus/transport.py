@@ -29,3 +29,11 @@ class Transport(Protocol):
 
     def rng(self) -> random.Random:
         """Deterministic randomness (election jitter)."""
+
+    @property
+    def tracer(self) -> Any:
+        """The simulator's ``repro.obs`` tracer, or None when tracing is off.
+
+        Optional: replicas read it with ``getattr(transport, "tracer",
+        None)``, so transports that predate tracing keep working.
+        """

@@ -11,6 +11,7 @@ from repro.group.info import GroupInfo
 from repro.net.futures import Future, RpcError, RpcTimeout, spawn
 from repro.net.node import Node
 from repro.net.retry import RetryPolicy, RetryState
+from repro.obs.spans import CLIENT_OP
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.store.kvstore import KvOp, KvResult, OP_CAS, OP_DELETE, OP_GET, OP_PUT
@@ -119,7 +120,29 @@ class ScatterClient(Node):
         dedup = (self.node_id, self._seq)
         record = OpRecord(op=op.op, key=op.key, value=op.value, invoke_time=self.sim.now)
         self.records.append(record)
-        return spawn(self.sim, self._op_proc(op, dedup, record))
+        future = spawn(self.sim, self._op_proc(op, dedup, record))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            span = tracer.begin(CLIENT_OP, op=op.op, key=op.key, client=self.node_id)
+
+            def _finish(f: Future) -> None:
+                m = tracer.metrics
+                m.inc("client.ops")
+                m.observe("client.hops", record.hops)
+                m.observe("client.attempts", record.attempts)
+                # Attempts that got no reply were RPC timeouts/errors.
+                m.inc("client.rpc_failures", record.attempts - record.hops)
+                error = None if f.exception is not None else getattr(f.result(), "error", None)
+                tracer.finish(
+                    span,
+                    ok=f.exception is None and record.ok,
+                    hops=record.hops,
+                    attempts=record.attempts,
+                    error=str(f.exception) if f.exception is not None else error,
+                )
+
+            future.add_callback(_finish)
+        return future
 
     def _op_proc(self, op: KvOp, dedup, record: OpRecord):
         deadline = self.sim.now + self.config.op_timeout

@@ -88,6 +88,10 @@ class _GroupTransport:
     def now(self) -> float:
         return self._node.sim.now
 
+    @property
+    def tracer(self) -> Any:
+        return self._node.sim.tracer
+
     def send(self, dst: str, msg: Any) -> None:
         self._node.send(dst, GroupMsg(self._gid, msg))
 

@@ -33,4 +33,6 @@ class TxnCommitCmd:
 
 @dataclass(frozen=True)
 class TxnAbortCmd:
+    """Abort record: releases the freeze taken by the matching prepare."""
+
     spec: TxnSpec

@@ -27,9 +27,11 @@ class GroupInfo:
     epoch: int = 0
 
     def with_range(self, new_range: KeyRange) -> "GroupInfo":
+        """Copy of this info owning ``new_range`` (other fields kept)."""
         return replace(self, range=new_range)
 
     def with_leader(self, leader: str) -> "GroupInfo":
+        """Copy of this info with a fresher leader hint."""
         return replace(self, leader_hint=leader)
 
 
@@ -51,6 +53,7 @@ class GroupGenesis:
     successor: GroupInfo | None = None
 
     def info(self) -> GroupInfo:
+        """The :class:`GroupInfo` advertising this newborn group."""
         return GroupInfo(
             gid=self.gid,
             range=self.range,

@@ -13,6 +13,7 @@ from repro.dht.ring import KeyRange
 from repro.group.commands import TxnAbortCmd, TxnCommitCmd
 from repro.group.info import GroupGenesis, GroupInfo
 from repro.net.futures import Future
+from repro.obs.spans import GROUP_FREEZE
 from repro.store.kvstore import KvOp, KvResult, KvStore, OP_GET, RangeState
 from repro.txn.spec import (
     MergeSpec,
@@ -25,6 +26,8 @@ from repro.txn.spec import (
 
 
 class GroupStatus(enum.Enum):
+    """Lifecycle of a group replica's storage state."""
+
     ACTIVE = "active"
     FROZEN = "frozen"  # storage locked by a prepared data transaction
     RETIRED = "retired"  # replaced by split/merge; forwards to successors
@@ -97,19 +100,25 @@ class GroupReplica:
             snapshot_fn=self.snapshot,
             restore_fn=self.restore,
         )
+        # repro.obs tracer shared with the Paxos replica (None = off).
+        self.tracer = self.paxos.tracer
+        self._freeze_span: Any = None
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def is_leader(self) -> bool:
+        """True while this replica leads the group's Paxos instance."""
         return self.paxos.is_leader and not self.paxos.retired
 
     @property
     def members(self) -> list[str]:
+        """Current voting membership (from the Paxos config)."""
         return list(self.paxos.members)
 
     def info(self) -> GroupInfo:
+        """This replica's current view of its own group, for gossip."""
         leader = self.paxos.leader_hint or self.paxos.replica_id
         return GroupInfo(
             gid=self.gid,
@@ -120,6 +129,7 @@ class GroupReplica:
         )
 
     def owned_keys(self, arc: KeyRange | None = None) -> list[int]:
+        """Stored keys inside ``arc`` (default: the whole owned range)."""
         arc = arc or self.range
         keys: list[int] = []
         for lo, hi in arc.intervals():
@@ -148,9 +158,16 @@ class GroupReplica:
             future.set_result(KvResult(ok=False, error="wrong_group"))
             return future
         self.load[op.key] += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.metrics.inc("group.ops")
         if op.op == OP_GET and self.paxos.config.lease_reads and self.paxos.lease_active:
+            if tracer is not None:
+                tracer.metrics.inc("group.lease_reads")
             future.set_result(self.store.get(op.key))
             return future
+        if tracer is not None:
+            tracer.metrics.inc("group.log_ops")
         proposed = self.paxos.propose(Command(kind="app", payload=op, dedup=dedup))
         start = self.host.now
         proposed.add_callback(lambda f: self._note_commit_latency(start, f))
@@ -159,9 +176,12 @@ class GroupReplica:
     def _note_commit_latency(self, start: float, future: Future) -> None:
         """Track replication (propose -> apply) latency at the leader."""
         if future.exception is None:
-            self.commit_latencies.append(self.host.now - start)
+            latency = self.host.now - start
+            self.commit_latencies.append(latency)
             if len(self.commit_latencies) > 4096:
                 del self.commit_latencies[:2048]
+            if self.tracer is not None:
+                self.tracer.metrics.observe("group.commit_latency", latency)
 
 
     # ------------------------------------------------------------------
@@ -188,6 +208,7 @@ class GroupReplica:
         }
 
     def restore(self, snap: dict) -> None:
+        """Reset to a ``snapshot()`` dict (snapshot install / catch-up)."""
         self.store = KvStore()
         self.store.absorb(snap["store"])
         self.range = snap["range"]
@@ -244,6 +265,14 @@ class GroupReplica:
         self.frozen_since = self.host.now
         if self._is_data_participant(spec):
             self.status = GroupStatus.FROZEN
+            if self.tracer is not None:
+                self._freeze_span = self.tracer.begin(
+                    GROUP_FREEZE,
+                    gid=self.gid,
+                    node=self.host.node_id,
+                    txn=spec.txn_id,
+                    spec=type(spec).__name__,
+                )
         return ("prepared", self._prepare_data(spec))
 
     def _is_data_participant(self, spec: TxnSpec) -> bool:
@@ -366,6 +395,7 @@ class GroupReplica:
         self.active_txn = None
         if self.status is GroupStatus.FROZEN:
             self.status = GroupStatus.ACTIVE
+        self._end_freeze_span("committed")
         self.host.record_txn_outcome(spec.txn_id, TxnDecision.COMMITTED, cmd.data)
         return ("committed", None)
 
@@ -501,7 +531,16 @@ class GroupReplica:
             self.active_txn = None
             if self.status is GroupStatus.FROZEN:
                 self.status = GroupStatus.ACTIVE
+            self._end_freeze_span("aborted")
         return ("aborted", None)
+
+    def _end_freeze_span(self, outcome: str) -> None:
+        """Close the open freeze-window span, if tracing recorded one."""
+        span = self._freeze_span
+        if span is not None:
+            self._freeze_span = None
+            if span.open:
+                self.tracer.finish(span, outcome=outcome)
 
 
 def _plan_info(plan) -> GroupInfo:

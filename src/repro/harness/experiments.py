@@ -1008,3 +1008,28 @@ ALL_EXPERIMENTS = {
     "E15": run_e15,
     "E16": run_e16,
 }
+
+
+def run_traced(name: str, tracer=None, quick: bool = True, seed: int | None = None):
+    """Run one experiment with ``repro.obs`` tracing enabled.
+
+    Installs ``tracer`` (a fresh one when None) ambiently for the
+    duration of the run, so every simulator the experiment builds binds
+    to it, then returns ``(result, tracer)``.  Any experiment can opt
+    in this way — the experiment functions themselves need no tracing
+    parameter.  Tracing never perturbs results: the returned result is
+    identical to an untraced run with the same arguments.
+    """
+    from repro.obs import Tracer, tracing
+
+    key = name.upper()
+    if key not in ALL_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}")
+    if tracer is None:
+        tracer = Tracer()
+    kwargs: dict = {"quick": quick}
+    if seed is not None:
+        kwargs["seed"] = seed
+    with tracing(tracer):
+        result = ALL_EXPERIMENTS[key](**kwargs)
+    return result, tracer

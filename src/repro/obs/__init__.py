@@ -1,0 +1,73 @@
+"""Operation-level tracing and metrics for the simulator (`repro.obs`).
+
+The harness's end-to-end numbers (``repro.harness.metrics``) say *how
+long* operations took; this package says *where the time and messages
+went*: routing hops per lookup, Paxos accept rounds per committed slot,
+2PC phase latencies per group operation.  Two primitives:
+
+- :class:`Tracer` records **spans** — (kind, start, end, attrs) intervals
+  keyed on *simulated* time, with explicit parent links — into an
+  in-memory list that :func:`repro.obs.export.write_jsonl` serializes.
+- :class:`MetricsRegistry` (one per tracer, at ``tracer.metrics``)
+  exposes **counters** and **histograms** for things too hot or too
+  numerous to span: messages by type, retransmissions, leader changes,
+  lease-read hit rates.
+
+Tracing is **disabled by default** and costs one attribute load plus a
+branch per instrumented call site when off (the ``if tracer:`` fast
+path); see docs/OBSERVABILITY.md for the overhead guarantees and the
+full span taxonomy.  Because spans record only simulated time and never
+consume simulator randomness or schedule events, traces are
+deterministic in (seed, configuration) and tracing cannot perturb
+results — a guard test asserts byte-identical experiment rows with
+tracing on, off, and absent.
+
+Enable tracing ambiently (picked up by every :class:`~repro.sim.loop.Simulator`
+constructed while installed)::
+
+    from repro.obs import Tracer, tracing
+
+    with tracing(Tracer()) as tracer:
+        result = run_e05(quick=True)
+    print(render_breakdown(tracer))
+
+or from the command line: ``python -m repro trace e05``.
+"""
+
+from repro.obs.export import render_breakdown, write_jsonl
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.runtime import clear_tracer, current_tracer, install_tracer, tracing
+from repro.obs.spans import (
+    ALL_SPAN_KINDS,
+    CLIENT_OP,
+    GROUP_FREEZE,
+    PAXOS_ELECTION,
+    PAXOS_SLOT,
+    TXN_COMMIT,
+    TXN_NOTIFY,
+    TXN_OP,
+    TXN_PREPARE,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "ALL_SPAN_KINDS",
+    "CLIENT_OP",
+    "GROUP_FREEZE",
+    "PAXOS_ELECTION",
+    "PAXOS_SLOT",
+    "TXN_COMMIT",
+    "TXN_NOTIFY",
+    "TXN_OP",
+    "TXN_PREPARE",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "clear_tracer",
+    "current_tracer",
+    "install_tracer",
+    "render_breakdown",
+    "tracing",
+    "write_jsonl",
+]

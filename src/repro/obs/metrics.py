@@ -1,0 +1,119 @@
+"""Counters and histograms for the tracing subsystem.
+
+A :class:`MetricsRegistry` is the cheap half of ``repro.obs``: where a
+span records one *interval*, a metric aggregates *many* events into a
+single counter or distribution.  Instrumented layers use metrics for
+anything that happens per message or per protocol tick (traffic by
+type, retransmissions, heartbeats) and spans only for operations worth
+attributing individually.
+
+Everything here is plain arithmetic on Python ints/floats — no clock
+access, no randomness, no scheduling — so registering metrics during a
+simulation cannot perturb it.
+"""
+
+from __future__ import annotations
+
+
+def _percentile(values: list[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100].
+
+    Local copy of :func:`repro.analysis.stats.percentile`: this module
+    must not import ``repro.analysis`` (whose ``__init__`` pulls in the
+    simulator, which imports ``repro.obs`` — a cycle).
+    """
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class Histogram:
+    """A recorded distribution of values (latencies, hops, sizes).
+
+    Values are kept verbatim up to ``max_samples``; beyond that the
+    histogram keeps counting and summing but stops storing, so the
+    count/mean stay exact while the percentiles describe the first
+    ``max_samples`` observations.  Tracing runs are short and opt-in, so
+    the cap exists only as a memory backstop.
+    """
+
+    __slots__ = ("values", "count", "total", "max", "max_samples")
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        self.values: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.max = float("-inf")
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if len(self.values) < self.max_samples:
+            self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        return _percentile(self.values, p)
+
+    def summary(self) -> dict:
+        """JSON-ready digest: count, mean, p50, p99, max."""
+        return {
+            "count": self.count,
+            "mean": self.mean if self.count else None,
+            "p50": self.percentile(50) if self.values else None,
+            "p99": self.percentile(99) if self.values else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first touch.
+
+    Names are dotted ``<layer>.<what>`` strings (``net.sent``,
+    ``paxos.accept_rounds``, ``client.hops``); docs/OBSERVABILITY.md
+    lists every name the instrumentation emits.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name`` (creating it empty)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self.histograms.get(name)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """counters[numerator] / counters[denominator], NaN on empty."""
+        denom = self.counters.get(denominator, 0)
+        if denom == 0:
+            return float("nan")
+        return self.counters.get(numerator, 0) / denom

@@ -1,0 +1,58 @@
+"""Ambient tracer installation.
+
+Experiments construct their simulators deep inside builders, so the
+tracer cannot be threaded through every call signature without
+polluting the whole harness API.  Instead a process-global *current
+tracer* is consulted exactly once per :class:`~repro.sim.loop.Simulator`
+construction: install a tracer, build/run the experiment, clear it.
+
+With nothing installed (the default), ``Simulator.tracer`` is ``None``
+and every instrumented call site reduces to a single attribute load
+plus a falsy branch — the disabled-mode overhead documented in
+docs/OBSERVABILITY.md.
+
+This module deliberately imports nothing from the simulator packages,
+so ``repro.sim`` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
+
+_current: "Tracer | None" = None
+
+
+def install_tracer(tracer: "Tracer") -> None:
+    """Make ``tracer`` ambient: every Simulator built next binds to it."""
+    global _current
+    _current = tracer
+
+
+def clear_tracer() -> None:
+    """Remove the ambient tracer (newly built simulators trace nothing)."""
+    global _current
+    _current = None
+
+
+def current_tracer() -> "Tracer | None":
+    """The ambient tracer, or None when tracing is off."""
+    return _current
+
+
+@contextmanager
+def tracing(tracer: "Tracer") -> Iterator["Tracer"]:
+    """``with tracing(Tracer()) as t:`` — install for the block, then clear.
+
+    Restores whatever was installed before, so traced blocks nest.
+    """
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous

@@ -1,0 +1,52 @@
+"""The span taxonomy: every span kind the instrumented layers emit.
+
+Instrumentation refers to these constants (never string literals) so the
+taxonomy stays closed: a test asserts that every kind listed here is
+documented in docs/OBSERVABILITY.md, and grep for a constant finds every
+emit site.  Names are ``<layer>.<what>``; see the documentation for each
+span's attributes and lifecycle.
+"""
+
+from __future__ import annotations
+
+# One client operation (get/put/delete/cas) end to end, routing and
+# retries included.  Emitted by repro.dht.client.
+CLIENT_OP = "client.op"
+
+# One leader campaign: Prepare broadcast to win/loss/abandonment.
+# Emitted by repro.consensus.replica.
+PAXOS_ELECTION = "paxos.election"
+
+# One Paxos accept round for one slot: Accept broadcast until the slot
+# is chosen (or leadership is lost).  Emitted by repro.consensus.replica.
+PAXOS_SLOT = "paxos.slot"
+
+# The window in which a group is locked by a prepared transaction:
+# txn_prepare applying to the matching commit/abort applying.  Emitted
+# by repro.group.replica on every member.
+GROUP_FREEZE = "group.freeze"
+
+# One whole group operation (split/merge/migrate/repartition) as seen by
+# its coordinator driver.  Emitted by repro.txn.coordinator.
+TXN_OP = "txn.op"
+
+# 2PC phase 1: all prepares proposed/sent until every vote is in.
+TXN_PREPARE = "txn.prepare"
+
+# 2PC commit point: the txn_commit record chosen in the coordinator
+# group's log.
+TXN_COMMIT = "txn.commit"
+
+# 2PC phase 2: best-effort commit notifications to remote participants.
+TXN_NOTIFY = "txn.notify"
+
+ALL_SPAN_KINDS = (
+    CLIENT_OP,
+    PAXOS_ELECTION,
+    PAXOS_SLOT,
+    GROUP_FREEZE,
+    TXN_OP,
+    TXN_PREPARE,
+    TXN_COMMIT,
+    TXN_NOTIFY,
+)

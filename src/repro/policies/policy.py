@@ -67,6 +67,7 @@ class ScatterPolicy:
     def choose_join_target(
         self, candidates: list["GroupInfo"], rng: random.Random
     ) -> "GroupInfo | None":
+        """Which group a joining node should reinforce (``join_mode``)."""
         if not candidates:
             return None
         if self.join_mode == "random":
@@ -79,9 +80,11 @@ class ScatterPolicy:
     # Group sizing
     # ------------------------------------------------------------------
     def wants_split(self, group: "GroupReplica") -> bool:
+        """True when the group has grown past ``split_size``."""
         return len(group.members) >= self.split_size
 
     def wants_merge(self, group: "GroupReplica") -> bool:
+        """True when the group has shrunk to ``merge_size`` or below."""
         return len(group.members) <= self.merge_size
 
     def choose_migration(

@@ -6,6 +6,7 @@ import random
 from heapq import heappop, heappush
 from typing import Any, Callable
 
+from repro.obs.runtime import current_tracer
 from repro.sim.events import EventHandle, EventQueue
 
 # The run loops index heap entries with literal ints rather than the
@@ -36,6 +37,13 @@ class Simulator:
         self._rngs: dict[str, random.Random] = {}
         self._stopped = False
         self._events_processed = 0
+        # Ambient tracing hookup (repro.obs): consulted exactly once, at
+        # construction.  ``tracer`` is None in the untraced default, so
+        # every instrumented call site in the stack reduces to one
+        # attribute load plus a falsy branch.
+        self.tracer = current_tracer()
+        if self.tracer is not None:
+            self.tracer.bind(self)
 
     # ------------------------------------------------------------------
     # Time
@@ -150,6 +158,8 @@ class Simulator:
         finally:
             queue._live -= processed
             self._events_processed += processed
+            if self.tracer is not None:
+                self.tracer.metrics.inc("sim.events", processed)
 
     def run_until(self, time: float) -> None:
         """Run events with timestamp <= ``time``; leave the clock at ``time``.
@@ -180,6 +190,8 @@ class Simulator:
         finally:
             queue._live -= processed
             self._events_processed += processed
+            if self.tracer is not None:
+                self.tracer.metrics.inc("sim.events", processed)
         if self._now < time:
             self._now = time
 

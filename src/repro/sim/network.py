@@ -86,6 +86,10 @@ class SimNetwork:
         self._blocked_pairs: set[tuple[str, str]] = set()
         self._slowdowns: dict[tuple[str, str], float] = {}
         self._rng = sim.rng("net")
+        # Cached from the simulator at construction (see repro.obs): None
+        # when tracing is off, so every accounting site below costs one
+        # attribute load plus a falsy branch.
+        self._tracer = sim.tracer
         self._fault_free = True
         self._refresh_fast_path()
 
@@ -266,6 +270,9 @@ class SimNetwork:
         if stats.count_types:
             name = type(msg).__name__
             stats.by_type[name] = stats.by_type.get(name, 0) + 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.note_send(msg)
         if self._fault_free:
             # Inlined sim.schedule_fire: one heap entry, no handle, no
             # intermediate frames — this line runs once per message.
@@ -285,18 +292,26 @@ class SimNetwork:
             return
         if src in self._down:
             stats.dropped += 1
+            if tracer is not None:
+                tracer.metrics.inc("net.dropped")
             return
         if (src, dst) in self._blocked_pairs:
             stats.dropped += 1
+            if tracer is not None:
+                tracer.metrics.inc("net.dropped")
             return
         if self._drop_prob > 0 and self._rng.random() < self._drop_prob:
             stats.dropped += 1
+            if tracer is not None:
+                tracer.metrics.inc("net.dropped")
             return
         self._schedule_delivery(src, dst, msg)
         if self._dup_prob > 0 and self._rng.random() < self._dup_prob:
             # A duplicate travels independently: its own latency sample,
             # so it may arrive before *or* after the original.
             stats.duplicated += 1
+            if tracer is not None:
+                tracer.metrics.inc("net.duplicated")
             self._schedule_delivery(src, dst, msg)
 
     def _schedule_delivery(self, src: str, dst: str, msg: Any) -> None:
@@ -308,11 +323,18 @@ class SimNetwork:
 
     def _deliver(self, src: str, dst: str, msg: Any) -> None:
         handler = self._handlers.get(dst)
+        tracer = self._tracer
         if handler is None or dst in self._down:
             self.stats.to_dead += 1
+            if tracer is not None:
+                tracer.metrics.inc("net.to_dead")
             return
         if (src, dst) in self._blocked_pairs:
             self.stats.dropped += 1
+            if tracer is not None:
+                tracer.metrics.inc("net.dropped")
             return
         self.stats.delivered += 1
+        if tracer is not None:
+            tracer.metrics.inc("net.delivered")
         handler(src, msg)

@@ -21,18 +21,24 @@ from repro.sim.network import SimNetwork
 
 @dataclass(frozen=True)
 class PrepareReq:
+    """Phase-1 vote request from the coordinator."""
+
     txn_id: str
     payload: Any = None
 
 
 @dataclass(frozen=True)
 class DecisionMsg:
+    """Phase-2 commit/abort decision, fire-and-forget."""
+
     txn_id: str
     commit: bool
 
 
 @dataclass(frozen=True)
 class VoteResp:
+    """A participant's vote; ``ok=False`` forces an abort."""
+
     ok: bool
 
 
@@ -78,6 +84,7 @@ class ClassicCoordinator(Node):
         self.outcomes: dict[str, bool] = {}
 
     def run_txn(self, txn_id: str, participants: list[str]) -> Future:
+        """Drive one 2PC round; resolves with "committed" or "aborted"."""
         return spawn(self.sim, self._drive(txn_id, participants))
 
     def _drive(self, txn_id: str, participants: list[str]):

@@ -19,6 +19,7 @@ from repro.dht.rpc import GroupUnreachable, group_request
 from repro.group.commands import TxnAbortCmd, TxnCommitCmd
 from repro.group.info import GroupInfo
 from repro.net.futures import Future, all_of, spawn
+from repro.obs.spans import TXN_COMMIT, TXN_NOTIFY, TXN_OP, TXN_PREPARE
 from repro.txn.spec import MergeSpec, RepartitionSpec, TxnSpec
 
 if TYPE_CHECKING:
@@ -36,15 +37,48 @@ def run_group_operation(
     "aborted:<reason>" (or "unknown:<reason>" if the driver lost its
     leadership mid-flight and the outcome rests with recovery)."""
     node.coordinating.add(group.gid)
-    future = spawn(node.sim, _drive(node, group, spec, participant_infos))
-    future.add_callback(lambda _f: node.coordinating.discard(group.gid))
+    tracer = node.sim.tracer
+    op_span = None
+    if tracer is not None:
+        op_span = tracer.begin(
+            TXN_OP,
+            spec=type(spec).__name__,
+            txn=spec.txn_id,
+            coordinator=group.gid,
+            participants=len(spec.participant_gids()),
+        )
+    future = spawn(node.sim, _drive(node, group, spec, participant_infos, op_span))
+
+    def _done(f: Future) -> None:
+        node.coordinating.discard(group.gid)
+        # The span closes here, in the future's callback, so every exit
+        # of the driver — commit, abort, unknown, raised — closes it.
+        if op_span is not None:
+            result = f"error:{f.exception}" if f.exception is not None else str(f.result())
+            outcome = result.split(":", 1)[0]
+            tracer.metrics.inc(f"txn.{outcome}")
+            tracer.finish(op_span, outcome=outcome, result=result)
+
+    future.add_callback(_done)
     return future
 
 
-def _drive(node: "ScatterNode", group: "GroupReplica", spec: TxnSpec, infos: dict[str, GroupInfo]):
+def _drive(
+    node: "ScatterNode",
+    group: "GroupReplica",
+    spec: TxnSpec,
+    infos: dict[str, GroupInfo],
+    op_span=None,
+):
+    tracer = node.sim.tracer
     remote_gids = [gid for gid in spec.participant_gids() if gid != group.gid]
 
     # ---- Phase 1: prepare everywhere (locally through our own log). ----
+    prep_span = None
+    if tracer is not None:
+        prep_span = tracer.begin(
+            TXN_PREPARE, parent=op_span, participants=len(remote_gids) + 1
+        )
     local_prepare = group.paxos.propose(Command(kind="txn_prepare", payload=spec))
     remote_prepares = [
         spawn(node.sim, _remote_txn_rpc(node, infos[gid], TxnPrepareReq(gid, spec), gid))
@@ -54,22 +88,31 @@ def _drive(node: "ScatterNode", group: "GroupReplica", spec: TxnSpec, infos: dic
         local_status, local_data = yield local_prepare
     except Exception as exc:
         # We may or may not have locked our own group; recovery cleans up.
+        if prep_span is not None:
+            tracer.finish(prep_span, outcome="unknown")
         return f"unknown:local_prepare:{exc}"
     replies = {group.gid: (local_status, local_data)}
     try:
         remote_results = yield all_of(remote_prepares)
     except Exception as exc:
+        if prep_span is not None:
+            tracer.finish(prep_span, outcome="rpc_failed")
         yield from _abort(node, group, spec, infos, remote_gids, f"prepare_rpc:{exc}")
         return f"aborted:prepare_rpc:{exc}"
     for gid, resp in zip(remote_gids, remote_results):
         replies[gid] = (resp.status, resp.data)
     refused = [gid for gid, (status, _d) in replies.items() if status != "prepared"]
+    if prep_span is not None:
+        tracer.finish(prep_span, outcome="refused" if refused else "prepared")
     if refused:
         reasons = {gid: replies[gid] for gid in refused}
         yield from _abort(node, group, spec, infos, remote_gids, f"refused:{reasons}")
         return f"aborted:refused:{sorted(refused)}"
 
     # ---- Commit point: the record in the coordinator group's log. ----
+    commit_span = None
+    if tracer is not None:
+        commit_span = tracer.begin(TXN_COMMIT, parent=op_span)
     data = _assemble_commit_data(spec, {gid: d for gid, (_s, d) in replies.items()})
     local_commit = group.paxos.propose(
         Command(kind="txn_commit", payload=TxnCommitCmd(spec=spec, data=data))
@@ -77,13 +120,20 @@ def _drive(node: "ScatterNode", group: "GroupReplica", spec: TxnSpec, infos: dic
     try:
         commit_status, _ = yield local_commit
     except Exception as exc:
+        if commit_span is not None:
+            tracer.finish(commit_span, outcome="unknown")
         return f"unknown:local_commit:{exc}"
+    if commit_span is not None:
+        tracer.finish(commit_span, outcome=commit_status)
     if commit_status not in ("committed", "dup"):
         # Our group raced us (e.g. recovery aborted first).
         return f"aborted:local_commit:{commit_status}"
 
     # ---- Phase 2: notify the other participants (best effort; they can
     # always recover the outcome from our group). ----
+    notify_span = None
+    if tracer is not None and remote_gids:
+        notify_span = tracer.begin(TXN_NOTIFY, parent=op_span, targets=len(remote_gids))
     notifies = [
         spawn(node.sim, _remote_txn_rpc(node, infos[gid], TxnCommitReq(gid, spec, data), gid))
         for gid in remote_gids
@@ -93,6 +143,8 @@ def _drive(node: "ScatterNode", group: "GroupReplica", spec: TxnSpec, infos: dic
             yield all_of(notifies)
         except Exception:
             pass  # stragglers learn the outcome through recovery
+    if notify_span is not None:
+        tracer.finish(notify_span)
     return "committed"
 
 

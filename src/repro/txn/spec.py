@@ -30,6 +30,8 @@ def new_txn_id(coordinator_node: str) -> str:
 
 
 class TxnDecision(Enum):
+    """Outcome of a transaction as recorded in a coordinator's log."""
+
     PENDING = "pending"
     COMMITTED = "committed"
     ABORTED = "aborted"
@@ -57,9 +59,11 @@ class TxnSpec:
 
     @property
     def kind(self) -> str:
+        """Short operation name: "split", "merge", "migrate", ..."""
         return type(self).__name__.removesuffix("Spec").lower()
 
     def participant_gids(self) -> tuple[str, ...]:
+        """Every group that must prepare (coordinator's group included)."""
         raise NotImplementedError
 
 
