@@ -1,0 +1,50 @@
+#!/bin/sh
+# CI fuzz gate, in two halves (both time-boxed):
+#
+#  1. Smoke: a short fuzz campaign on main must complete with no
+#     violation found (exit 0).  Deterministic: same seed, same plans.
+#  2. Canary: the same campaign with --demo-bug quorum-off-by-one must
+#     FIND a violation (exit 1), shrink it, and write a repro file that
+#     --replay then reproduces (exit 0).  A fuzzer that has never found
+#     a bug is indistinguishable from one that cannot — this proves the
+#     harness has teeth on every CI run.
+#
+# Usage: scripts/check_fuzz.sh [smoke-iterations] [canary-iterations]
+set -e
+cd "$(dirname "$0")/.."
+if [ ! -f src/repro/__init__.py ]; then
+    echo "check_fuzz.sh: src/repro/__init__.py not found under $(pwd) — aborting." >&2
+    exit 1
+fi
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+SMOKE_ITERS="${1:-12}"
+CANARY_ITERS="${2:-10}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+echo "== fuzz smoke: $SMOKE_ITERS iterations, expecting clean =="
+timeout 90 python -m repro fuzz --iterations "$SMOKE_ITERS" --seed 1 \
+    --out-dir "$OUT_DIR"
+
+echo "== fuzz canary: --demo-bug quorum-off-by-one, expecting a find =="
+set +e
+timeout 90 python -m repro fuzz --iterations "$CANARY_ITERS" --seed 1 \
+    --demo-bug quorum-off-by-one --out-dir "$OUT_DIR"
+status=$?
+set -e
+if [ "$status" -ne 1 ]; then
+    echo "check_fuzz.sh: canary expected exit 1 (bug found), got $status" >&2
+    exit 1
+fi
+
+REPRO_FILE="$(ls "$OUT_DIR"/repro-*.json 2>/dev/null | head -n 1)"
+if [ -z "$REPRO_FILE" ]; then
+    echo "check_fuzz.sh: canary found a bug but wrote no repro file" >&2
+    exit 1
+fi
+
+echo "== replay: $REPRO_FILE must reproduce =="
+timeout 90 python -m repro fuzz --replay "$REPRO_FILE"
+echo "check_fuzz.sh: OK (smoke clean, canary found+shrunk+replayed)"

@@ -69,15 +69,20 @@ def _partition(records: Iterable) -> tuple[list[_Write], list[_Read]]:
     writes: list[_Write] = []
     reads: list[_Read] = []
     for r in records:
-        if r.result is None:
-            continue
         if r.op == "put":
-            acked = r.completed and r.result.ok
-            end = r.response_time if r.response_time >= 0 else float("inf")
+            # A put with no result yet (still in flight when the run
+            # ended) or a timed-out put may nevertheless have been
+            # applied server-side: keep it as a pending (unacked,
+            # unbounded-end) write so a later read of its value is a
+            # legal reads-from, not a phantom.
+            acked = r.completed and r.result is not None and r.result.ok
+            # An unacked write's effect is unbounded in time: the server
+            # may apply it after the client's timeout response arrived.
+            end = r.response_time if acked and r.response_time >= 0 else float("inf")
             writes.append(_Write(r.value, r.invoke_time, end, acked))
         elif r.op == "get":
-            if not r.completed:
-                continue  # a timed-out read constrains nothing
+            if not r.completed or r.result is None:
+                continue  # a timed-out or unresolved read constrains nothing
             value = r.result.value if r.result.ok else NOT_FOUND
             reads.append(_Read(value, r.invoke_time, r.response_time))
     return writes, reads

@@ -1,0 +1,43 @@
+"""Intentionally-buggy modes that prove the fuzzer has teeth.
+
+A fuzzer that has never found a bug is indistinguishable from one that
+cannot.  ``demo_bug("quorum-off-by-one")`` weakens the Paxos quorum from
+``n//2 + 1`` to ``max(1, n//2)`` — a minority "quorum", the classic
+off-by-one — for the duration of a ``with`` block.  Under partitions
+this lets both sides elect leaders and choose conflicting values, which
+the invariant registry (log divergence, duplicate leases) and the
+linearizability checker then catch.  The CI canary asserts the fuzzer
+finds and shrinks this within a bounded iteration budget.
+
+The patch is applied at class level inside the context manager and
+always restored, so production code paths never see it; nothing outside
+``repro.check`` imports this module.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.consensus.replica import PaxosReplica
+
+DEMO_BUGS = ("quorum-off-by-one",)
+
+
+def _buggy_majority(self) -> int:
+    return max(1, len(self.members) // 2)
+
+
+@contextmanager
+def demo_bug(name: str | None):
+    """Activate the named demo bug for the duration of the block."""
+    if name is None:
+        yield
+        return
+    if name not in DEMO_BUGS:
+        raise ValueError(f"unknown demo bug {name!r}; known: {', '.join(DEMO_BUGS)}")
+    original = PaxosReplica._majority
+    PaxosReplica._majority = _buggy_majority
+    try:
+        yield
+    finally:
+        PaxosReplica._majority = original

@@ -1,0 +1,147 @@
+"""The fuzz loop: sample → run → (on failure) shrink → write repro.
+
+Iteration seeds derive from the master seed by stable hash, so a fuzz
+campaign is fully described by ``(master_seed, n_iterations)``: the same
+pair always visits the same plans in the same order and reaches the
+same verdict.  Wall-clock time only decides *when to stop* in
+``--minutes`` mode — it never influences what any iteration does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.check.plan import FuzzPlan, sample_plan
+from repro.check.repro_file import dump_repro, repro_dict
+from repro.check.runner import FailureSummary, FuzzOutcome, run_plan
+from repro.check.shrink import shrink_plan
+
+
+@dataclass
+class FuzzConfig:
+    master_seed: int = 1
+    iterations: int = 25
+    minutes: float | None = None  # wall-clock budget; overrides iterations
+    bug: str | None = None
+    out_dir: str = "."
+    shrink: bool = True
+    max_shrink_runs: int = 150
+    progress: Callable[[str], None] | None = None
+
+
+@dataclass
+class FuzzSummary:
+    master_seed: int
+    iterations_run: int = 0
+    found: bool = False
+    failure: FailureSummary | None = None
+    failing_iteration: int | None = None
+    repro_path: str | None = None
+    shrink: dict[str, Any] = field(default_factory=dict)
+    ops_total: int = 0
+    events_total: int = 0
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "master_seed": self.master_seed,
+            "iterations_run": self.iterations_run,
+            "found": self.found,
+            "failure": self.failure.to_dict() if self.failure else None,
+            "failing_iteration": self.failing_iteration,
+            "repro_path": self.repro_path,
+            "shrink": self.shrink,
+            "ops_total": self.ops_total,
+            "events_total": self.events_total,
+            "wall_seconds": round(self.wall_seconds, 2),
+        }
+
+
+def _describe(plan: FuzzPlan, outcome: FuzzOutcome) -> str:
+    verdict = "FAIL" if outcome.failed else "ok"
+    note = f" [{outcome.failure.kind}:{outcome.failure.name}]" if outcome.failed else ""
+    return (
+        f"iter {plan.iteration} seed={plan.sim_seed} nodes={plan.n_nodes} "
+        f"groups={plan.n_groups} faults={len(plan.schedule)} ops={len(plan.ops)} "
+        f"completed={outcome.ops_completed} -> {verdict}{note}"
+    )
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzSummary:
+    """Run a fuzz campaign; stop at the first failure (after shrinking it)."""
+    say = config.progress or (lambda _line: None)
+    summary = FuzzSummary(master_seed=config.master_seed)
+    started = time.monotonic()
+    iteration = 0
+    while True:
+        if config.minutes is not None:
+            if time.monotonic() - started >= config.minutes * 60.0:
+                break
+        elif iteration >= config.iterations:
+            break
+
+        plan = sample_plan(config.master_seed, iteration)
+        outcome = run_plan(plan, bug=config.bug)
+        summary.iterations_run += 1
+        summary.ops_total += outcome.ops_total
+        summary.events_total += outcome.events
+        say(_describe(plan, outcome))
+
+        if outcome.failed:
+            summary.found = True
+            summary.failing_iteration = iteration
+            final_plan, failure = plan, outcome.failure
+            if config.shrink:
+                say(
+                    f"shrinking: {len(plan.schedule)} faults, {len(plan.ops)} ops "
+                    f"(budget {config.max_shrink_runs} runs)"
+                )
+
+                def still_fails(candidate: FuzzPlan) -> bool:
+                    return run_plan(candidate, bug=config.bug).failed
+
+                final_plan, stats = shrink_plan(
+                    plan, still_fails, max_runs=config.max_shrink_runs
+                )
+                failure = run_plan(final_plan, bug=config.bug).failure or outcome.failure
+                summary.shrink = stats.to_dict()
+                say(
+                    f"shrunk to {len(final_plan.schedule)} faults, "
+                    f"{len(final_plan.ops)} ops in {stats.runs} runs"
+                )
+            summary.failure = failure
+            path = Path(config.out_dir) / f"repro-{plan.sim_seed}.json"
+            dump_repro(
+                repro_dict(final_plan, failure, config.bug, shrink=summary.shrink), path
+            )
+            summary.repro_path = str(path)
+            say(f"wrote {path}")
+            break
+
+        iteration += 1
+
+    summary.wall_seconds = time.monotonic() - started
+    return summary
+
+
+def replay(data: dict[str, Any]) -> tuple[bool, FailureSummary | None, FailureSummary]:
+    """Re-execute a loaded repro file.
+
+    Returns (reproduced, observed_failure, recorded_failure): reproduced
+    means the run failed again with the same kind and name.
+    """
+    from repro.check.repro_file import failure_of, plan_of
+
+    plan = plan_of(data)
+    recorded = failure_of(data)
+    outcome = run_plan(plan, bug=data.get("demo_bug"))
+    observed = outcome.failure
+    reproduced = (
+        observed is not None
+        and observed.kind == recorded.kind
+        and observed.name == recorded.name
+    )
+    return reproduced, observed, recorded

@@ -1,0 +1,241 @@
+"""The invariant registry: safety properties checked during fuzzing.
+
+Each invariant is a pure read-only function over a live
+:class:`~repro.dht.system.ScatterSystem`; it returns a list of
+human-readable problem strings (empty = holds).  The registry maps a
+stable invariant name to its checker, and the
+:class:`~repro.check.monitor.InvariantMonitor` evaluates the registry on
+a fixed cadence while a fuzz run executes.
+
+The catalog (see docs/TESTING.md for the full write-up):
+
+- ``leader-exclusivity`` — at most one Paxos leader per group per
+  ballot, and at most one live lease per group at any instant.
+- ``log-agreement`` — live replicas of a group never disagree on a
+  chosen value in their overlapping committed windows (prefix
+  agreement; compared over a bounded tail).
+- ``txn-atomicity`` — at-most-once 2PC: no replica applies the same
+  transaction twice, and no transaction is observed both committed and
+  aborted anywhere in the system.
+- ``ring-coverage`` — active groups partition the key space with no
+  gaps or overlaps.  Split/merge commits propagate replica-by-replica,
+  so a transient overlap is legal; the monitor only reports this one
+  when it persists across several consecutive samples.
+
+End-of-run per-key linearizability of the client history is checked by
+the runner (it needs the complete history), not by this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dht.ring import KEY_SPACE
+from repro.group.replica import GroupStatus
+from repro.txn.spec import decisions_conflict
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation, timestamped with virtual time."""
+
+    invariant: str
+    time: float
+    detail: str
+
+
+def _live_replicas(system):
+    """Yield (node_name, gid, replica) for live, non-retired replicas."""
+    for name in sorted(system.nodes):
+        node = system.nodes[name]
+        if not node.alive:
+            continue
+        for gid in sorted(node.groups):
+            replica = node.groups[gid]
+            if replica.paxos.retired or replica.status is GroupStatus.RETIRED:
+                continue
+            yield name, gid, replica
+
+
+def check_leader_exclusivity(system) -> list[str]:
+    problems: list[str] = []
+    leaders: dict[str, list[tuple[str, dict]]] = {}
+    for name, gid, replica in _live_replicas(system):
+        view = replica.paxos.leadership_view()
+        if view["is_leader"]:
+            leaders.setdefault(gid, []).append((name, view))
+    for gid in sorted(leaders):
+        by_ballot: dict[tuple, list[str]] = {}
+        for name, view in leaders[gid]:
+            by_ballot.setdefault(view["ballot"], []).append(name)
+        for ballot in sorted(by_ballot):
+            names = by_ballot[ballot]
+            if len(names) > 1:
+                problems.append(
+                    f"{gid}: {len(names)} leaders at ballot {ballot}: {','.join(names)}"
+                )
+        leased = sorted(name for name, view in leaders[gid] if view["lease_active"])
+        if len(leased) > 1:
+            problems.append(f"{gid}: {len(leased)} live leases: {','.join(leased)}")
+    return problems
+
+
+def _command_label(value) -> str:
+    """Describe a log value without repr()ing payloads.
+
+    Payloads can hold closures whose repr embeds memory addresses, which
+    would make violation details (and hence repro files) nondeterministic.
+    """
+    kind = getattr(value, "kind", None)
+    if kind is None:
+        return type(value).__name__
+    dedup = getattr(value, "dedup", None)
+    return f"{kind}{dedup}" if dedup else str(kind)
+
+
+def check_log_agreement(system, tail: int = 32) -> list[str]:
+    problems: list[str] = []
+    logs: dict[str, list[tuple[str, object]]] = {}
+    for name, gid, replica in _live_replicas(system):
+        logs.setdefault(gid, []).append((name, replica.paxos.log))
+    for gid in sorted(logs):
+        replicas = logs[gid]
+        if len(replicas) < 2:
+            continue
+        ref_name, ref_log = replicas[0]
+        ref_lo, ref_hi = ref_log.commit_window(tail)
+        for other_name, other_log in replicas[1:]:
+            oth_lo, oth_hi = other_log.commit_window(tail)
+            lo, hi = max(ref_lo, oth_lo), min(ref_hi, oth_hi)
+            for slot in range(lo, hi + 1):
+                if not (ref_log.is_chosen(slot) and other_log.is_chosen(slot)):
+                    continue
+                a = ref_log.chosen_value(slot)
+                b = other_log.chosen_value(slot)
+                if a is not b and a != b:
+                    problems.append(
+                        f"{gid}: slot {slot} diverges: "
+                        f"{ref_name}={_command_label(a)} vs {other_name}={_command_label(b)}"
+                    )
+                    break  # one slot per replica pair is enough signal
+    return problems
+
+
+def check_txn_atomicity(system) -> list[str]:
+    problems: list[str] = []
+    observed: dict[str, set[str]] = {}
+    # Crashed nodes keep durable state, and a decision applied before a
+    # crash still counts — scan every node, alive or not.
+    for name in sorted(system.nodes):
+        node = system.nodes[name]
+        for gid in sorted(node.groups):
+            replica = node.groups[gid]
+            seen: set[tuple[str, str]] = set()
+            for txn_id, decision in replica.txn_log:
+                if (txn_id, decision) in seen:
+                    problems.append(
+                        f"{gid}@{name}: {decision} applied twice for {txn_id}"
+                    )
+                seen.add((txn_id, decision))
+                observed.setdefault(txn_id, set()).add(decision)
+    for txn_id in sorted(observed):
+        if decisions_conflict(observed[txn_id]):
+            problems.append(
+                f"{txn_id}: conflicting decisions {sorted(observed[txn_id])}"
+            )
+    return problems
+
+
+def authoritative_arcs(system) -> dict[str, tuple[int, int]]:
+    """The committed group structure: gid -> (lo, hi) key arcs.
+
+    A lagging replica (partitioned or freshly restarted) may still see a
+    long-retired group as ACTIVE; that is a legal transient, not a ring
+    violation.  So for each gid we take the *most-applied* replica's
+    view across every node — alive or crashed, since durable state
+    survives crashes — and treat a group as retired as soon as any
+    replica has applied its retirement (retirement is a chosen log
+    entry, so one sighting proves the decision).  A successor group
+    whose members have not yet applied their creation is stood in for
+    by its parent's forwarding info, which records the replacement
+    arcs at retirement time.
+    """
+    views: dict[str, tuple[int, tuple[int, int]]] = {}
+    retired: set[str] = set()
+    forwarding: dict[str, tuple[int, int]] = {}
+    for name in sorted(system.nodes):
+        node = system.nodes[name]
+        for gid in sorted(node.groups):
+            replica = node.groups[gid]
+            if replica.status is GroupStatus.RETIRED:
+                retired.add(gid)
+                for info in replica.forwarding:
+                    forwarding.setdefault(info.gid, (info.range.lo, info.range.hi))
+                continue
+            if replica.paxos.retired:
+                # This *member* was removed from the group; its view is
+                # stale but the group itself lives on elsewhere.
+                continue
+            applied = replica.paxos.applied_index
+            current = views.get(gid)
+            if current is None or applied > current[0]:
+                views[gid] = (applied, (replica.range.lo, replica.range.hi))
+    arcs = {gid: arc for gid, (_, arc) in views.items() if gid not in retired}
+    for gid, arc in forwarding.items():
+        if gid not in arcs and gid not in retired:
+            arcs[gid] = arc
+    return arcs
+
+
+def _structural_txn_in_flight(system) -> bool:
+    """Is any group-operation 2PC still propagating?
+
+    A split/merge/repartition changes ranges group-by-group as each
+    participant applies its own log's commit, so the ring is legally
+    untiled from the first apply until the last.  That window is exactly
+    bounded by some replica still holding ``active_txn`` (prepared but
+    not yet resolved) — so ring coverage is only asserted when no
+    structural transaction is in flight anywhere.
+    """
+    for _name, _gid, replica in _live_replicas(system):
+        if replica.active_txn is not None:
+            return True
+    return False
+
+
+def check_ring_coverage(system) -> list[str]:
+    if _structural_txn_in_flight(system):
+        return []
+    arcs = authoritative_arcs(system)
+    if not arcs:
+        return ["no active groups"]
+    spans = sorted(arcs.values())
+    if len(spans) == 1:
+        lo, hi = spans[0]
+        if lo != hi:
+            return [f"single group covers [{lo},{hi}) — not the full ring"]
+        return []
+    total = 0
+    for i, (lo, hi) in enumerate(spans):
+        next_lo = spans[(i + 1) % len(spans)][0]
+        if hi != next_lo:
+            return [f"ring gap/overlap: arc ends at {hi} but next starts at {next_lo}"]
+        total += (hi - lo) % KEY_SPACE or KEY_SPACE
+    if total != KEY_SPACE:
+        return [f"arcs wrap the ring more than once ({total} keys claimed)"]
+    return []
+
+
+# Invariants safe to assert at every sample.
+CONTINUOUS_INVARIANTS: dict[str, object] = {
+    "leader-exclusivity": check_leader_exclusivity,
+    "log-agreement": check_log_agreement,
+    "txn-atomicity": check_txn_atomicity,
+}
+
+# Invariants with legal transients; violated only if persistent.
+EVENTUAL_INVARIANTS: dict[str, object] = {
+    "ring-coverage": check_ring_coverage,
+}
+
+ALL_INVARIANTS: dict[str, object] = {**CONTINUOUS_INVARIANTS, **EVENTUAL_INVARIANTS}

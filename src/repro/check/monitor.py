@@ -1,0 +1,82 @@
+"""Continuous invariant evaluation over a running simulation.
+
+The monitor samples the invariant registry on a fixed virtual-time
+cadence.  It is strictly an observer: it draws no random numbers, sends
+no messages, and mutates no protocol state, so attaching it cannot
+perturb a run (guarded by tests/test_check_invariants.py).
+
+Invariants in ``EVENTUAL_INVARIANTS`` (ring coverage) are allowed legal
+transients — a split's commit reaches replicas one apply at a time — so
+they only count as violated after ``persist`` consecutive failing
+samples, and each such episode is reported once.
+"""
+
+from __future__ import annotations
+
+from repro.check.invariants import (
+    CONTINUOUS_INVARIANTS,
+    EVENTUAL_INVARIANTS,
+    InvariantViolation,
+)
+from repro.sim.loop import Simulator
+
+MAX_VIOLATIONS = 50  # stop accumulating past this; the first is what matters
+
+
+class InvariantMonitor:
+    def __init__(
+        self,
+        sim: Simulator,
+        system,
+        interval: float = 0.25,
+        persist: int = 5,
+    ) -> None:
+        self.sim = sim
+        self.system = system
+        self.interval = interval
+        self.persist = persist
+        self.violations: list[InvariantViolation] = []
+        self.samples = 0
+        self._streaks: dict[str, int] = {name: 0 for name in EVENTUAL_INVARIANTS}
+        self._reported: set[str] = set()
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self.sim.schedule_fire(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _record(self, name: str, problems: list[str]) -> None:
+        for detail in problems:
+            if len(self.violations) >= MAX_VIOLATIONS:
+                return
+            self.violations.append(
+                InvariantViolation(invariant=name, time=round(self.sim.now, 9), detail=detail)
+            )
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.samples += 1
+        for name, fn in CONTINUOUS_INVARIANTS.items():
+            problems = fn(self.system)
+            if problems:
+                self._record(name, problems)
+        for name, fn in EVENTUAL_INVARIANTS.items():
+            problems = fn(self.system)
+            if problems:
+                self._streaks[name] += 1
+                if self._streaks[name] == self.persist and name not in self._reported:
+                    self._reported.add(name)
+                    self._record(name, problems)
+            else:
+                self._streaks[name] = 0
+                self._reported.discard(name)
+        if self._running and len(self.violations) < MAX_VIOLATIONS:
+            self.sim.schedule_fire(self.interval, self._tick)

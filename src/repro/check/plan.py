@@ -1,0 +1,235 @@
+"""Fuzz plans: the complete, serializable input of one fuzz iteration.
+
+A plan pins everything a run depends on — deployment shape, simulator
+seed, a *scripted* client workload, and an explicit fault schedule — so
+that (a) the same plan always reproduces the same run byte-for-byte,
+(b) the shrinker can delete schedule entries / ops and re-run, and
+(c) a failing plan can be written to a ``repro-<seed>.json`` file and
+replayed later with ``python -m repro fuzz --replay``.
+
+Randomness is confined to :func:`sample_plan`: once sampled, a plan is
+pure data and its execution draws no fuzzer-level random numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.sim.loop import _stable_hash
+
+PLAN_FORMAT = "repro.check/1"
+
+# Fault kinds a schedule entry may carry (documented in docs/TESTING.md).
+FAULT_KINDS = ("crash", "partition", "oneway", "gray", "drop", "dup", "group_op")
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One scheduled fault: applied at ``time``, healed ``duration`` later.
+
+    ``time`` is an offset from the start of the fault window (after
+    warmup).  ``params`` is kind-specific plain data — node names, sides,
+    probabilities — never live objects, so entries serialize cleanly.
+    """
+
+    time: float
+    kind: str
+    duration: float
+    params: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class OpEntry:
+    """One scripted client operation.
+
+    ``op_id`` is assigned at sampling time and survives shrinking, so a
+    put's value (``c<client>#<op_id>``) is stable no matter which other
+    ops the shrinker deletes around it.
+    """
+
+    op_id: int
+    client: int
+    kind: str  # "get" | "put"
+    key: int
+    think: float  # pause before issuing, seconds
+
+
+@dataclass(frozen=True)
+class FuzzPlan:
+    """Everything one fuzz iteration needs, as pure data."""
+
+    master_seed: int
+    iteration: int
+    sim_seed: int
+    n_groups: int
+    group_size: int
+    n_clients: int
+    warmup: float
+    duration: float
+    drain: float
+    schedule: tuple[FaultEntry, ...]
+    ops: tuple[OpEntry, ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_groups * self.group_size
+
+    def with_schedule(self, schedule) -> "FuzzPlan":
+        return replace(self, schedule=tuple(schedule))
+
+    def with_ops(self, ops) -> "FuzzPlan":
+        return replace(self, ops=tuple(ops))
+
+
+def iteration_seed(master_seed: int, iteration: int) -> int:
+    """Derive iteration ``i``'s seed from the master seed (stable hash)."""
+    return _stable_hash(f"fuzz:{master_seed}:{iteration}") & 0x7FFFFFFF
+
+
+def _r(value: float) -> float:
+    return round(value, 6)
+
+
+def _sample_fault(rng: random.Random, node_names: list[str], duration: float) -> FaultEntry:
+    time = _r(rng.uniform(0.3, max(0.4, duration - 1.0)))
+    kind = rng.choices(
+        FAULT_KINDS,
+        weights=(28, 18, 12, 12, 8, 8, 14),
+    )[0]
+    if kind == "crash":
+        return FaultEntry(
+            time,
+            kind,
+            _r(rng.uniform(0.5, 3.0)),
+            {"node": rng.choice(node_names)},
+        )
+    if kind == "partition":
+        k = rng.randint(1, max(1, len(node_names) // 2))
+        side = sorted(rng.sample(node_names, k))
+        return FaultEntry(time, kind, _r(rng.uniform(0.8, 2.5)), {"side": side})
+    if kind == "oneway":
+        return FaultEntry(
+            time,
+            kind,
+            _r(rng.uniform(0.8, 2.0)),
+            {"node": rng.choice(node_names), "mode": rng.choice(["inbound", "outbound"])},
+        )
+    if kind == "gray":
+        return FaultEntry(
+            time,
+            kind,
+            _r(rng.uniform(1.0, 3.0)),
+            {"node": rng.choice(node_names), "factor": _r(rng.uniform(8.0, 30.0))},
+        )
+    if kind == "drop":
+        return FaultEntry(
+            time, kind, _r(rng.uniform(0.5, 1.5)), {"prob": _r(rng.uniform(0.15, 0.45))}
+        )
+    if kind == "dup":
+        return FaultEntry(
+            time, kind, _r(rng.uniform(0.8, 2.0)), {"prob": _r(rng.uniform(0.15, 0.4))}
+        )
+    # group_op: force a split or merge on whichever group is at `index`
+    # (mod the live group count) when the entry fires.
+    return FaultEntry(
+        time,
+        "group_op",
+        0.0,
+        {"op": rng.choice(["split", "merge"]), "index": rng.randrange(8)},
+    )
+
+
+def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
+    """Sample iteration ``i``'s plan — deployment, workload, faults."""
+    seed = iteration_seed(master_seed, iteration)
+    rng = random.Random(seed)
+
+    n_groups = rng.randint(2, 4)
+    group_size = rng.choice([3, 3, 5])
+    n_clients = rng.randint(2, 3)
+    duration = _r(rng.uniform(8.0, 14.0))
+    node_names = [f"s{i}" for i in range(n_groups * group_size)]
+
+    n_faults = rng.randint(3, 10)
+    schedule = sorted(
+        (_sample_fault(rng, node_names, duration) for _ in range(n_faults)),
+        key=lambda e: (e.time, e.kind),
+    )
+
+    key_space = rng.choice([8, 16, 32])
+    read_fraction = rng.uniform(0.35, 0.65)
+    ops: list[OpEntry] = []
+    op_id = 0
+    per_client = max(10, int(duration / 0.12))
+    for client in range(n_clients):
+        for _ in range(per_client):
+            kind = "get" if rng.random() < read_fraction else "put"
+            ops.append(
+                OpEntry(
+                    op_id=op_id,
+                    client=client,
+                    kind=kind,
+                    key=rng.randrange(key_space),
+                    think=_r(rng.uniform(0.02, 0.15)),
+                )
+            )
+            op_id += 1
+
+    return FuzzPlan(
+        master_seed=master_seed,
+        iteration=iteration,
+        sim_seed=seed,
+        n_groups=n_groups,
+        group_size=group_size,
+        n_clients=n_clients,
+        warmup=3.0,
+        duration=duration,
+        drain=6.0,
+        schedule=tuple(schedule),
+        ops=tuple(ops),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serialization (used by repro files; JSON-stable)
+# ---------------------------------------------------------------------------
+def plan_to_dict(plan: FuzzPlan) -> dict[str, Any]:
+    return {
+        "master_seed": plan.master_seed,
+        "iteration": plan.iteration,
+        "sim_seed": plan.sim_seed,
+        "n_groups": plan.n_groups,
+        "group_size": plan.group_size,
+        "n_clients": plan.n_clients,
+        "warmup": plan.warmup,
+        "duration": plan.duration,
+        "drain": plan.drain,
+        "schedule": [
+            {"time": e.time, "kind": e.kind, "duration": e.duration, "params": e.params}
+            for e in plan.schedule
+        ],
+        "ops": [[o.op_id, o.client, o.kind, o.key, o.think] for o in plan.ops],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> FuzzPlan:
+    schedule = tuple(
+        FaultEntry(e["time"], e["kind"], e["duration"], dict(e["params"]))
+        for e in data["schedule"]
+    )
+    ops = tuple(OpEntry(*entry) for entry in data["ops"])
+    return FuzzPlan(
+        master_seed=data["master_seed"],
+        iteration=data["iteration"],
+        sim_seed=data["sim_seed"],
+        n_groups=data["n_groups"],
+        group_size=data["group_size"],
+        n_clients=data["n_clients"],
+        warmup=data["warmup"],
+        duration=data["duration"],
+        drain=data["drain"],
+        schedule=schedule,
+        ops=ops,
+    )

@@ -1,0 +1,159 @@
+"""Executes a plan's fault schedule against a live deployment.
+
+Each :class:`~repro.check.plan.FaultEntry` is applied at its offset from
+the fault-window start and healed ``duration`` later; :meth:`stop` heals
+everything still outstanding (restarts down nodes, unblocks links,
+clears slowdowns, restores loss/dup baselines), Jepsen-style, so the
+post-fault drain always runs on a healthy network.
+
+All primitives come from :class:`repro.faults.target.FaultTarget` and
+:class:`repro.sim.network.SimNetwork`; entries reference nodes by name
+and are resolved at fire time, so the same schedule data can be re-run
+(or shrunk and re-run) deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.check.plan import FaultEntry
+from repro.faults.target import FaultTarget
+from repro.sim.loop import Simulator
+
+
+class ScheduleRunner:
+    def __init__(
+        self,
+        sim: Simulator,
+        system,
+        target: FaultTarget,
+        schedule: Sequence[FaultEntry],
+    ) -> None:
+        self.sim = sim
+        self.system = system
+        self.target = target
+        self.schedule = list(schedule)
+        self.applied: list[str] = []  # human-readable fault log
+        self._base_drop = target.net.drop_prob
+        self._base_dup = target.net.dup_prob
+        self._active_drops: list[float] = []
+        self._active_dups: list[float] = []
+        self._stopped = False
+
+    def start(self) -> None:
+        for entry in self.schedule:
+            self.sim.schedule_fire(entry.time, self._apply, entry)
+
+    def stop(self) -> None:
+        """Heal every outstanding fault; later heal events become no-ops."""
+        self._stopped = True
+        net = self.target.net
+        net.heal()
+        net.clear_slowdowns()
+        self._active_drops.clear()
+        self._active_dups.clear()
+        net.drop_prob = self._base_drop
+        net.dup_prob = self._base_dup
+        for node_id in self.target.down_ids():
+            self.target.restart(node_id)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def _apply(self, entry: FaultEntry) -> None:
+        if self._stopped:
+            return
+        handler = getattr(self, f"_apply_{entry.kind}")
+        handler(entry)
+        self.applied.append(f"{entry.time:.3f} {entry.kind}")
+
+    def _apply_crash(self, entry: FaultEntry) -> None:
+        node = entry.params["node"]
+        if self.target.crash(node):
+            self.sim.schedule_fire(entry.duration, self.target.restart, node)
+
+    def _apply_partition(self, entry: FaultEntry) -> None:
+        known = set(self.target.node_ids())
+        side = [n for n in entry.params["side"] if n in known]
+        rest = sorted(known.difference(side))
+        if not side or not rest:
+            return
+        self.target.net.partition(set(side), set(rest))
+        self.sim.schedule_fire(entry.duration, self._heal_partition, side, rest)
+
+    def _heal_partition(self, side: list[str], rest: list[str]) -> None:
+        if self._stopped:
+            return
+        for a in side:
+            for b in rest:
+                self.target.net.unblock(a, b)
+
+    def _apply_oneway(self, entry: FaultEntry) -> None:
+        victim = entry.params["node"]
+        peers = [n for n in self.target.node_ids() if n != victim]
+        if entry.params["mode"] == "inbound":
+            self.target.net.isolate_inbound(victim, peers)
+            blocked = [(peer, victim) for peer in peers]
+        else:
+            self.target.net.isolate_outbound(victim, peers)
+            blocked = [(victim, peer) for peer in peers]
+        self.sim.schedule_fire(entry.duration, self._heal_oneway, blocked)
+
+    def _heal_oneway(self, blocked: list[tuple[str, str]]) -> None:
+        if self._stopped:
+            return
+        for src, dst in blocked:
+            self.target.net.unblock_one_way(src, dst)
+
+    def _apply_gray(self, entry: FaultEntry) -> None:
+        victim = entry.params["node"]
+        peers = [n for n in self.target.node_ids() if n != victim]
+        self.target.net.set_node_slowdown(victim, entry.params["factor"], peers)
+        self.sim.schedule_fire(entry.duration, self._heal_gray, victim, peers)
+
+    def _heal_gray(self, victim: str, peers: list[str]) -> None:
+        if self._stopped:
+            return
+        self.target.net.set_node_slowdown(victim, 1.0, peers)
+
+    def _apply_drop(self, entry: FaultEntry) -> None:
+        prob = entry.params["prob"]
+        self._active_drops.append(prob)
+        self.target.net.drop_prob = max([self._base_drop, *self._active_drops])
+        self.sim.schedule_fire(entry.duration, self._pop_drop, prob)
+
+    def _pop_drop(self, prob: float) -> None:
+        if self._stopped:
+            return
+        if prob in self._active_drops:
+            self._active_drops.remove(prob)
+        self.target.net.drop_prob = max([self._base_drop, *self._active_drops])
+
+    def _apply_dup(self, entry: FaultEntry) -> None:
+        prob = entry.params["prob"]
+        self._active_dups.append(prob)
+        self.target.net.dup_prob = max([self._base_dup, *self._active_dups])
+        self.sim.schedule_fire(entry.duration, self._pop_dup, prob)
+
+    def _pop_dup(self, prob: float) -> None:
+        if self._stopped:
+            return
+        if prob in self._active_dups:
+            self._active_dups.remove(prob)
+        self.target.net.dup_prob = max([self._base_dup, *self._active_dups])
+
+    def _apply_group_op(self, entry: FaultEntry) -> None:
+        gids = sorted(self.system.active_groups())
+        if not gids:
+            return
+        gid = gids[entry.params["index"] % len(gids)]
+        leader = self.system.leader_of(gid)
+        if leader is None:
+            return
+        if entry.params["op"] == "split":
+            future = leader.host.start_split(leader)
+        else:
+            future = leader.host.start_merge(leader)
+        # The op may legitimately fail (bad split key, frozen neighbor);
+        # consume the exception so it isn't re-raised at GC time.
+        future.add_callback(lambda f: f.exception)

@@ -1,0 +1,105 @@
+"""Delta-debugging shrinker for failing fuzz plans.
+
+Classic ddmin (Zeller & Hildebrandt) over a list: try dropping chunks,
+keep any reduction that still fails, refine chunk granularity until
+nothing can be removed.  Applied first to the fault schedule, then to
+the client ops, so a failing iteration reduces to the few faults and
+operations that actually matter.  Because runs are deterministic, a
+reduction that fails once fails always — no flaky shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.check.plan import FuzzPlan
+
+
+@dataclass
+class ShrinkStats:
+    runs: int = 0
+    schedule_before: int = 0
+    schedule_after: int = 0
+    ops_before: int = 0
+    ops_after: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "schedule_before": self.schedule_before,
+            "schedule_after": self.schedule_after,
+            "ops_before": self.ops_before,
+            "ops_after": self.ops_after,
+        }
+
+
+def _ddmin(items: list, still_fails: Callable[[list], bool], budget: list[int]) -> list:
+    """Minimize ``items`` under ``still_fails``; ``budget`` caps test runs."""
+    n = 2
+    while len(items) >= 2 and budget[0] > 0:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            if budget[0] <= 0:
+                return items
+            candidate = items[:start] + items[start + chunk:]
+            if not candidate:
+                continue
+            budget[0] -= 1
+            if still_fails(candidate):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(items), n * 2)
+    # Final singleton sweep: try the empty list too (a failure may need
+    # no faults at all, e.g. a workload-only linearizability bug).
+    if items and budget[0] > 0:
+        budget[0] -= 1
+        if still_fails([]):
+            return []
+    return items
+
+
+def shrink_plan(
+    plan: FuzzPlan,
+    fails: Callable[[FuzzPlan], bool],
+    max_runs: int = 150,
+) -> tuple[FuzzPlan, ShrinkStats]:
+    """Return a minimized plan that still fails, plus shrink statistics.
+
+    ``fails`` re-executes a candidate plan and reports whether the
+    failure persists (any failure counts: once a run is off the rails,
+    the most-reduced reproducer is the useful artifact).
+    """
+    stats = ShrinkStats(
+        schedule_before=len(plan.schedule),
+        ops_before=len(plan.ops),
+    )
+    budget = [max_runs]
+
+    def counted(candidate: FuzzPlan) -> bool:
+        stats.runs += 1
+        return fails(candidate)
+
+    schedule = _ddmin(
+        list(plan.schedule),
+        lambda entries: counted(plan.with_schedule(entries)),
+        budget,
+    )
+    plan = plan.with_schedule(schedule)
+
+    ops = _ddmin(
+        list(plan.ops),
+        lambda entries: counted(plan.with_ops(entries)),
+        budget,
+    )
+    plan = plan.with_ops(ops)
+
+    stats.schedule_after = len(plan.schedule)
+    stats.ops_after = len(plan.ops)
+    return plan, stats

@@ -1,0 +1,59 @@
+"""Scripted workload: replays a plan's op list exactly.
+
+Unlike :class:`repro.workloads.driver.ClosedLoopWorkload`, which draws
+keys and op kinds from an RNG stream as it runs, this driver executes a
+pre-sampled list of :class:`repro.check.plan.OpEntry`.  That makes the
+workload shrinkable — deleting an op from the plan deletes exactly that
+op from the run — and keeps put values (``c<client>#<op_id>``) stable
+under shrinking, so the linearizability checker's reads-from mapping
+never shifts as the shrinker works.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.check.plan import OpEntry
+from repro.net.futures import Future, spawn
+from repro.sim.loop import Simulator
+
+
+class ScriptedWorkload:
+    """Each client plays its slice of the plan's ops, one at a time."""
+
+    def __init__(self, sim: Simulator, clients: list, ops: Sequence[OpEntry]) -> None:
+        self.sim = sim
+        self.clients = clients
+        self._per_client: list[list[OpEntry]] = [[] for _ in clients]
+        for op in ops:
+            self._per_client[op.client % len(clients)].append(op)
+        self.issued = 0
+        self._done = 0
+
+    def start(self) -> None:
+        for idx, client in enumerate(self.clients):
+            spawn(self.sim, self._run_client(client, self._per_client[idx]))
+
+    @property
+    def finished(self) -> bool:
+        return self._done == len(self.clients)
+
+    def _run_client(self, client, ops: list[OpEntry]):
+        for op in ops:
+            if op.think > 0:
+                pause = Future()
+                self.sim.schedule_fire(op.think, pause.set_result, None)
+                yield pause
+            if op.kind == "get":
+                future = client.get(op.key)
+            else:
+                future = client.put(op.key, f"c{op.client}#{op.op_id}")
+            self.issued += 1
+            try:
+                yield future
+            except Exception:
+                pass  # the OpRecord captures the failure; keep going
+        self._done += 1
+
+    def all_records(self) -> list:
+        return [record for client in self.clients for record in client.records]

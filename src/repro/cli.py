@@ -9,6 +9,9 @@ Usage::
     python -m repro profile E6 --top 20
     python -m repro perf --json BENCH_SIM.json
     python -m repro trace e05 --out trace_E5.jsonl
+    python -m repro fuzz --iterations 25
+    python -m repro fuzz --demo-bug quorum-off-by-one
+    python -m repro fuzz --replay repro-12345.json
 """
 
 from __future__ import annotations
@@ -194,6 +197,58 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.check import FuzzConfig, load_repro, replay, run_fuzz
+
+    if args.replay:
+        try:
+            data = load_repro(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load repro file: {exc}", file=sys.stderr)
+            return 2
+        reproduced, observed, recorded = replay(data)
+        print(f"recorded: {recorded.kind}:{recorded.name} @ t={recorded.time}")
+        if observed is None:
+            print("observed: run completed clean — NOT reproduced", file=sys.stderr)
+            return 2
+        print(f"observed: {observed.kind}:{observed.name} @ t={observed.time}")
+        print(f"detail:   {observed.detail}")
+        if not reproduced:
+            print("failure differs from the recorded one — NOT reproduced", file=sys.stderr)
+            return 2
+        print("reproduced: yes")
+        return 0
+
+    config = FuzzConfig(
+        master_seed=args.seed,
+        iterations=args.iterations,
+        minutes=args.minutes,
+        bug=args.demo_bug,
+        out_dir=args.out_dir,
+        shrink=not args.no_shrink,
+        max_shrink_runs=args.max_shrink_runs,
+        progress=lambda line: print(f"[fuzz] {line}", file=sys.stderr),
+    )
+    try:
+        summary = run_fuzz(config)
+    except ValueError as exc:  # unknown --demo-bug
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(json.dumps(summary.to_dict(), sort_keys=True))
+    if summary.found:
+        failure = summary.failure
+        print(
+            f"FAILURE at iteration {summary.failing_iteration}: "
+            f"{failure.kind}:{failure.name} — {failure.detail}",
+            file=sys.stderr,
+        )
+        print(f"repro written to {summary.repro_path}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -269,6 +324,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", metavar="PATH", default=None,
                          help="JSONL trace path (default trace_<EXP>.jsonl)")
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="deterministic-simulation fuzzing: randomized fault schedules "
+             "checked against the repro.check invariant registry",
+    )
+    p_fuzz.add_argument("--iterations", type=int, default=25,
+                        help="iterations to run (ignored with --minutes)")
+    p_fuzz.add_argument("--minutes", type=float, default=None,
+                        help="wall-clock budget; run iterations until it expires")
+    p_fuzz.add_argument("--seed", type=int, default=1,
+                        help="master seed; iteration seeds derive from it")
+    p_fuzz.add_argument("--demo-bug", default=None, metavar="NAME",
+                        help="inject a known bug (quorum-off-by-one) to prove "
+                             "the fuzzer finds it")
+    p_fuzz.add_argument("--out-dir", default=".",
+                        help="directory for repro-<seed>.json files")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging the failing plan")
+    p_fuzz.add_argument("--max-shrink-runs", type=int, default=150,
+                        help="re-execution budget for the shrinker")
+    p_fuzz.add_argument("--replay", metavar="FILE", default=None,
+                        help="re-execute a saved repro file and verify the "
+                             "recorded failure reproduces (exit 0 if so)")
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

@@ -121,6 +121,18 @@ class PaxosLog:
                 out.append((slot, e.accepted_ballot, e.accepted_value))
         return out
 
+    def commit_window(self, tail: int) -> tuple[int, int]:
+        """[lo, hi] slot bounds of the last ``tail`` committed slots.
+
+        Read-only helper for invariant checkers (``repro.check``): two
+        replicas' overlapping commit windows bound the slots on which
+        prefix agreement can be compared without touching compacted or
+        uncommitted state.
+        """
+        hi = self.commit_index
+        lo = max(self.first_slot, hi - tail + 1)
+        return lo, hi
+
     def chosen_range(self, from_slot: int, to_slot: int) -> list[tuple[int, Any]]:
         """Chosen (slot, value) pairs in [from_slot, to_slot]."""
         out = []

@@ -341,6 +341,20 @@ class PaxosReplica:
     def lease_active(self) -> bool:
         return self.is_leader and self._lease_valid()
 
+    def leadership_view(self) -> dict:
+        """Read-only leadership snapshot for invariant checkers.
+
+        Used by ``repro.check`` to assert at most one leader (and one
+        live lease) per group per ballot; safe to call at any time and
+        never mutates replica state.
+        """
+        return {
+            "is_leader": self.is_leader,
+            "ballot": self.ballot,
+            "lease_active": self.lease_active,
+            "commit_index": self.log.commit_index,
+            "retired": self.retired,
+        }
 
     def transfer_leadership(self, target: str) -> bool:
         """Hand leadership to ``target`` if this replica is idle.

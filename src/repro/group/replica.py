@@ -89,6 +89,12 @@ class GroupReplica:
         self.epoch = 0  # bumped by config changes and repartitions
         self.load = Counter()  # per-key op counts since the last policy window
         self.commit_latencies: list[float] = []
+        # Applied 2PC outcomes in apply order, for invariant checkers
+        # (repro.check): each entry is (txn_id, "committed"|"aborted").
+        # Dedup'd applies ("dup"/"ignored") are never recorded, so a
+        # repeated txn_id here means the state machine really ran the
+        # transition twice — an at-most-once violation.
+        self.txn_log: list[tuple[str, str]] = []
         self.created_at = host.now
         self.paxos = PaxosReplica(
             replica_id=host.node_id,
@@ -396,6 +402,7 @@ class GroupReplica:
         if self.status is GroupStatus.FROZEN:
             self.status = GroupStatus.ACTIVE
         self._end_freeze_span("committed")
+        self.txn_log.append((spec.txn_id, TxnDecision.COMMITTED.value))
         self.host.record_txn_outcome(spec.txn_id, TxnDecision.COMMITTED, cmd.data)
         return ("committed", None)
 
@@ -526,6 +533,7 @@ class GroupReplica:
         if spec.txn_id in self.completed_txns:
             return ("dup", None)
         self.completed_txns.add(spec.txn_id)
+        self.txn_log.append((spec.txn_id, TxnDecision.ABORTED.value))
         self.host.record_txn_outcome(spec.txn_id, TxnDecision.ABORTED, {})
         if self.active_txn is not None and self.active_txn.txn_id == spec.txn_id:
             self.active_txn = None

@@ -37,6 +37,23 @@ class TxnDecision(Enum):
     ABORTED = "aborted"
 
 
+def decisions_conflict(decisions) -> bool:
+    """True if a set of observed outcomes violates 2PC atomicity.
+
+    Read-only helper for invariant checkers (``repro.check``): a
+    transaction may be observed as committed on some replicas and not
+    yet observed on others (they lag), but never as both committed and
+    aborted.  ``decisions`` is any iterable of :class:`TxnDecision`
+    values or their ``.value`` strings; PENDING never conflicts.
+    """
+    seen = set()
+    for decision in decisions:
+        value = decision.value if isinstance(decision, TxnDecision) else decision
+        if value != TxnDecision.PENDING.value:
+            seen.add(value)
+    return len(seen) > 1
+
+
 @dataclass(frozen=True)
 class GroupPlan:
     """Blueprint of a group to be created by a split or merge."""

@@ -1,0 +1,153 @@
+"""Fuzzer determinism, demo-bug canary, and CLI behaviour.
+
+The contract under test: a fuzz campaign is a pure function of its
+master seed — same seed, same plans, same outcome, byte-identical repro
+file — and the quorum-off-by-one demo bug is found, shrunk, and
+replay-reproduced within a bounded budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.check import (
+    FuzzConfig,
+    iteration_seed,
+    load_repro,
+    replay,
+    run_fuzz,
+    run_plan,
+    sample_plan,
+)
+from repro.check.plan import plan_from_dict, plan_to_dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _cli_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+class TestPlanDeterminism:
+    def test_iteration_seeds_stable_and_distinct(self):
+        seeds = [iteration_seed(1, i) for i in range(50)]
+        assert seeds == [iteration_seed(1, i) for i in range(50)]
+        assert len(set(seeds)) == 50
+        assert seeds != [iteration_seed(2, i) for i in range(50)]
+
+    def test_sample_plan_deterministic(self):
+        a = sample_plan(7, 3)
+        b = sample_plan(7, 3)
+        assert a == b  # frozen dataclasses of tuples compare structurally
+        assert sample_plan(7, 4) != a
+
+    def test_plan_round_trips_through_dict(self):
+        plan = sample_plan(11, 0)
+        assert plan_from_dict(json.loads(json.dumps(plan_to_dict(plan)))) == plan
+
+
+class TestRunDeterminism:
+    def test_same_plan_same_outcome(self):
+        plan = sample_plan(1, 0)
+        first = run_plan(plan)
+        second = run_plan(plan)
+        assert first.history_digest == second.history_digest
+        assert first.events == second.events
+        assert (first.ops_total, first.ops_completed) == (
+            second.ops_total,
+            second.ops_completed,
+        )
+        assert first.failure == second.failure
+        assert first.ops_completed > 0
+
+    def test_short_clean_campaign(self):
+        summary = run_fuzz(FuzzConfig(master_seed=1, iterations=3))
+        assert not summary.found
+        assert summary.iterations_run == 3
+        assert summary.ops_total > 0
+        assert summary.events_total > 0
+
+
+@pytest.fixture(scope="module")
+def demo_campaigns(tmp_path_factory):
+    """Two independent demo-bug campaigns with the same master seed."""
+    runs = []
+    for name in ("a", "b"):
+        out = tmp_path_factory.mktemp(f"demo_{name}")
+        summary = run_fuzz(
+            FuzzConfig(
+                master_seed=1,
+                iterations=10,
+                bug="quorum-off-by-one",
+                out_dir=str(out),
+            )
+        )
+        runs.append(summary)
+    return runs
+
+
+class TestDemoBugCanary:
+    def test_found_within_budget(self, demo_campaigns):
+        summary = demo_campaigns[0]
+        assert summary.found
+        assert summary.failure is not None
+        assert summary.failing_iteration is not None
+
+    def test_shrunk_to_minimal_schedule(self, demo_campaigns):
+        summary = demo_campaigns[0]
+        shrink = summary.shrink
+        assert shrink["runs"] > 0
+        assert shrink["schedule_after"] <= shrink["schedule_before"]
+        assert shrink["ops_after"] <= shrink["ops_before"]
+        # The quorum bug needs only a small push; the shrinker should get
+        # the fault schedule down to a handful of entries.
+        assert shrink["schedule_after"] <= 3
+
+    def test_repro_files_byte_identical_across_runs(self, demo_campaigns):
+        first, second = demo_campaigns
+        with open(first.repro_path, "rb") as fa, open(second.repro_path, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_replay_reproduces(self, demo_campaigns):
+        data = load_repro(demo_campaigns[0].repro_path)
+        reproduced, observed, recorded = replay(data)
+        assert reproduced, f"replay diverged: observed={observed} recorded={recorded}"
+        assert observed.kind == recorded.kind
+        assert observed.name == recorded.name
+
+
+class TestCli:
+    def test_clean_fuzz_exits_zero_with_summary(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fuzz", "--iterations", "2",
+             "--seed", "1", "--out-dir", str(tmp_path)],
+            capture_output=True, text=True, env=_cli_env(), timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["found"] is False
+        assert summary["iterations_run"] == 2
+
+    def test_unknown_demo_bug_exits_two(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fuzz", "--iterations", "1",
+             "--demo-bug", "no-such-bug", "--out-dir", str(tmp_path)],
+            capture_output=True, text=True, env=_cli_env(), timeout=120,
+        )
+        assert proc.returncode == 2
+
+    def test_replay_cli_round_trip(self, demo_campaigns):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fuzz",
+             "--replay", demo_campaigns[0].repro_path],
+            capture_output=True, text=True, env=_cli_env(), timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,154 @@
+"""Cross-validation of the fast linearizability checker against Wing & Gong.
+
+`check_key_history` is the fast, *sound* checker: it must never report a
+violation for a history the exhaustive Wing & Gong search can
+linearize.  (The reverse is allowed — the fast checker is incomplete
+and may accept histories Wing & Gong rejects.)  We drive both over
+hundreds of small randomly generated histories covering the awkward
+cases: pending and timed-out writes, NOT_FOUND reads, concurrent
+overlapping ops, and deliberately corrupted reads.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.linearizability import (
+    NOT_FOUND,
+    Op,
+    check_key_history,
+    wing_gong_check,
+)
+from repro.dht.client import OpRecord
+from repro.store.kvstore import KvResult
+
+KEY = 7
+INF = float("inf")
+
+
+def _generate_history(rng: random.Random) -> list[OpRecord]:
+    """A small multi-client history over one key.
+
+    Each client is sequential; ops overlap across clients.  Writes may
+    be acked, timed out, or still in flight at history end; reads may
+    return NOT_FOUND, any written value (plausible or corrupted), or
+    time out.  Some histories are linearizable, some are not — the
+    cross-validation property covers both.
+    """
+    n_clients = rng.randint(1, 3)
+    records: list[OpRecord] = []
+    written: list[str] = []
+    write_counter = 0
+    clocks = [rng.uniform(0.0, 0.5) for _ in range(n_clients)]
+    n_ops = rng.randint(2, 7)
+    for _ in range(n_ops):
+        c = rng.randrange(n_clients)
+        invoke = clocks[c] + rng.uniform(0.01, 0.4)
+        duration = rng.uniform(0.05, 0.8)
+        clocks[c] = invoke + duration + rng.uniform(0.0, 0.3)
+        if rng.random() < 0.45:  # write
+            write_counter += 1
+            value = f"w{write_counter}"
+            written.append(value)
+            roll = rng.random()
+            if roll < 0.6:  # acked
+                records.append(
+                    OpRecord("put", KEY, value, invoke, invoke + duration, KvResult(ok=True))
+                )
+            elif roll < 0.8:  # timed out: may or may not have applied
+                records.append(
+                    OpRecord(
+                        "put", KEY, value, invoke, invoke + duration,
+                        KvResult(ok=False, error="timeout"),
+                    )
+                )
+            else:  # still in flight at the end of the run
+                records.append(OpRecord("put", KEY, value, invoke, -1.0, None))
+        else:  # read
+            roll = rng.random()
+            if roll < 0.15 or not written:
+                value = NOT_FOUND
+                result = KvResult(ok=False, error="not_found")
+            else:
+                value = rng.choice(written)  # plausible or stale or future
+                result = KvResult(ok=True, value=value)
+            if rng.random() < 0.1:  # timed-out read constrains nothing
+                records.append(OpRecord("get", KEY, None, invoke, duration + invoke,
+                                        KvResult(ok=False, error="timeout")))
+            else:
+                records.append(OpRecord("get", KEY, value, invoke, invoke + duration, result))
+    return records
+
+
+def _to_wing_gong(records: list[OpRecord]) -> list[Op]:
+    """Translate records to Wing & Gong ops.
+
+    A *completed but failed* read (timeout) constrains nothing and is
+    dropped, matching the fast checker's treatment.  Unacked writes
+    (pending or timed out) become pending ops (response = inf): they may
+    or may not have applied server-side.
+    """
+    ops: list[Op] = []
+    for r in records:
+        if r.op == "put":
+            acked = r.completed and r.result is not None and r.result.ok
+            ops.append(Op("write", r.value, r.invoke_time,
+                          r.response_time if acked else INF))
+        else:
+            if not r.completed or r.result is None:
+                continue
+            if r.result.error == "timeout":
+                continue
+            value = r.result.value if r.result.ok else NOT_FOUND
+            ops.append(Op("read", value, r.invoke_time, r.response_time))
+    return ops
+
+
+class TestCrossValidation:
+    def test_fast_checker_sound_against_wing_gong(self):
+        """≥200 histories: fast checker never flags what Wing & Gong accepts."""
+        rng = random.Random(20110923)
+        accepted = rejected = 0
+        for case in range(250):
+            records = _generate_history(rng)  # ≤7 ops: exhaustive search is tractable
+            ops = _to_wing_gong(records)
+            linearizable = wing_gong_check(ops, initial=NOT_FOUND)
+            if linearizable:
+                accepted += 1
+                fast = check_key_history(KEY, records)
+                assert not fast.violations, (
+                    f"case {case}: fast checker flagged a Wing&Gong-linearizable "
+                    f"history: {fast.violations} \nrecords={records}"
+                )
+            else:
+                rejected += 1
+        # The generator must exercise both sides, or the property is vacuous.
+        assert accepted >= 50, f"only {accepted} linearizable histories generated"
+        assert rejected >= 20, f"only {rejected} non-linearizable histories generated"
+
+    def test_pending_write_read_is_not_phantom(self):
+        """A read may observe a write whose ack never arrived."""
+        records = [
+            OpRecord("put", KEY, "w1", 0.0, -1.0, None),  # still in flight
+            OpRecord("get", KEY, "w1", 1.0, 1.2, KvResult(ok=True, value="w1")),
+        ]
+        assert wing_gong_check(_to_wing_gong(records), initial=NOT_FOUND)
+        assert not check_key_history(KEY, records).violations
+
+    def test_timed_out_write_read_is_not_phantom(self):
+        records = [
+            OpRecord("put", KEY, "w1", 0.0, 0.5, KvResult(ok=False, error="timeout")),
+            OpRecord("get", KEY, "w1", 1.0, 1.2, KvResult(ok=True, value="w1")),
+        ]
+        assert wing_gong_check(_to_wing_gong(records), initial=NOT_FOUND)
+        assert not check_key_history(KEY, records).violations
+
+    def test_not_found_after_acked_write_is_flagged_by_both(self):
+        records = [
+            OpRecord("put", KEY, "w1", 0.0, 0.5, KvResult(ok=True)),
+            OpRecord("get", KEY, NOT_FOUND, 1.0, 1.2,
+                     KvResult(ok=False, error="not_found")),
+        ]
+        assert not wing_gong_check(_to_wing_gong(records), initial=NOT_FOUND)
+        fast = check_key_history(KEY, records)
+        assert [v.kind for v in fast.violations] == ["lost_write"]

@@ -1,0 +1,37 @@
+"""Smoke sweep: every registered experiment runs in quick mode.
+
+A thin well-formedness gate over the whole E1-E16 registry: each
+experiment must return an :class:`ExperimentResult` with rows, columns
+that cover the rows, and wall-clock perf populated by the harness
+wrapper.  Marked slow — the sweep takes about half a minute and CI's
+fast tier skips it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.results import ExperimentResult
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_quick_mode_is_well_formed(name):
+    result = ALL_EXPERIMENTS[name](quick=True)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment.lower() == name.lower()
+    assert result.title
+    assert result.rows, f"{name} produced no rows"
+    assert result.columns, f"{name} declared no columns"
+    for row in result.rows:
+        unknown = set(row) - set(result.columns)
+        assert not unknown, f"{name}: row keys {unknown} missing from columns"
+        for key, value in row.items():
+            if isinstance(value, float):
+                assert not math.isnan(value), f"{name}: NaN in column {key}"
+    assert "wall_s" in result.perf, f"{name}: perf.wall_s not stamped"
+    assert result.perf["wall_s"] >= 0.0
