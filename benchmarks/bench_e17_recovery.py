@@ -1,0 +1,31 @@
+"""E17: crash recovery cost vs snapshot threshold (durable storage).
+
+With the storage model on, every restart in the storm runs real
+recovery — snapshot load plus WAL replay.  The snapshot threshold is
+the knob: compaction off (threshold 0) means replay grows with uptime,
+while aggressive compaction keeps replay short.  Availability must stay
+practical at every setting; what the threshold buys is recovery cost,
+not safety.
+"""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e17
+
+
+def test_e17_recovery(benchmark):
+    result = run_once(benchmark, lambda: run_e17(quick=True))
+    save_result(result)
+    rows = {r["compact_threshold"]: r for r in result.rows}
+    assert set(rows) == {0, 64, 256, 1024}
+    # The storm actually forced recoveries, and they replayed WAL records.
+    assert all(r["recoveries"] > 0 for r in rows.values())
+    # Compaction bounds replay: the tightest threshold replays less per
+    # recovery than compaction-off, which accumulates the whole log.
+    assert rows[64]["mean_replay"] < rows[0]["mean_replay"]
+    # With compaction on, recoveries start from snapshots.
+    assert rows[64]["snapshot_pct"] > 0.0
+    # Availability stays practical under the storm at every threshold,
+    # and the system serves ops again promptly after the final heal.
+    assert all(r["availability"] > 0.8 for r in rows.values())
+    assert all(r["recovery_s"] < 20.0 for r in rows.values())
+    assert all(r["ops"] > 100 for r in rows.values()), "workload actually ran"

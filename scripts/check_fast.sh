@@ -1,6 +1,6 @@
 #!/bin/sh
 # Fast tier-1 check: the full test suite minus tests marked `slow`
-# (multi-seed nemesis schedules, the E1-E16 smoke sweep, and fuzz long
+# (multi-seed nemesis schedules, the E1-E17 smoke sweep, and fuzz long
 # runs).  Use the plain `PYTHONPATH=src python -m pytest -x -q`
 # invocation for the full tier.
 set -e

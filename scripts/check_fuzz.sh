@@ -3,13 +3,17 @@
 #
 #  1. Smoke: a short fuzz campaign on main must complete with no
 #     violation found (exit 0).  Deterministic: same seed, same plans.
-#  2. Canary: the same campaign with --demo-bug quorum-off-by-one must
+#  2. Canaries: the same campaign with each --demo-bug planted must
 #     FIND a violation (exit 1), shrink it, and write a repro file that
 #     --replay then reproduces (exit 0).  A fuzzer that has never found
 #     a bug is indistinguishable from one that cannot — this proves the
-#     harness has teeth on every CI run.
+#     harness has teeth on every CI run.  quorum-off-by-one exercises
+#     the safety invariants; forgotten-promise exercises
+#     acceptor-durability on storage-enabled plans.
 #
 # Usage: scripts/check_fuzz.sh [smoke-iterations] [canary-iterations]
+# Set OUT_DIR to keep the repro files (CI uploads them as artifacts on
+# failure); by default a temp dir is used and cleaned up.
 set -e
 cd "$(dirname "$0")/.."
 if [ ! -f src/repro/__init__.py ]; then
@@ -21,30 +25,44 @@ export PYTHONPATH
 
 SMOKE_ITERS="${1:-12}"
 CANARY_ITERS="${2:-10}"
-OUT_DIR="$(mktemp -d)"
-trap 'rm -rf "$OUT_DIR"' EXIT
+if [ -z "$OUT_DIR" ]; then
+    OUT_DIR="$(mktemp -d)"
+    trap 'rm -rf "$OUT_DIR"' EXIT
+else
+    mkdir -p "$OUT_DIR"
+fi
 
 echo "== fuzz smoke: $SMOKE_ITERS iterations, expecting clean =="
 timeout 90 python -m repro fuzz --iterations "$SMOKE_ITERS" --seed 1 \
     --out-dir "$OUT_DIR"
 
-echo "== fuzz canary: --demo-bug quorum-off-by-one, expecting a find =="
-set +e
-timeout 90 python -m repro fuzz --iterations "$CANARY_ITERS" --seed 1 \
-    --demo-bug quorum-off-by-one --out-dir "$OUT_DIR"
-status=$?
-set -e
-if [ "$status" -ne 1 ]; then
-    echo "check_fuzz.sh: canary expected exit 1 (bug found), got $status" >&2
-    exit 1
-fi
+run_canary() {
+    bug="$1"
+    seed="$2"
+    iters="$3"
+    echo "== fuzz canary: --demo-bug $bug, expecting a find =="
+    before="$(ls "$OUT_DIR"/repro-*.json 2>/dev/null || true)"
+    set +e
+    timeout 120 python -m repro fuzz --iterations "$iters" --seed "$seed" \
+        --demo-bug "$bug" --out-dir "$OUT_DIR"
+    status=$?
+    set -e
+    if [ "$status" -ne 1 ]; then
+        echo "check_fuzz.sh: $bug canary expected exit 1 (bug found), got $status" >&2
+        exit 1
+    fi
+    REPRO_FILE=""
+    for f in "$OUT_DIR"/repro-*.json; do
+        case " $before " in *" $f "*) ;; *) REPRO_FILE="$f" ;; esac
+    done
+    if [ -z "$REPRO_FILE" ]; then
+        echo "check_fuzz.sh: $bug canary found a bug but wrote no repro file" >&2
+        exit 1
+    fi
+    echo "== replay: $REPRO_FILE must reproduce =="
+    timeout 120 python -m repro fuzz --replay "$REPRO_FILE"
+}
 
-REPRO_FILE="$(ls "$OUT_DIR"/repro-*.json 2>/dev/null | head -n 1)"
-if [ -z "$REPRO_FILE" ]; then
-    echo "check_fuzz.sh: canary found a bug but wrote no repro file" >&2
-    exit 1
-fi
-
-echo "== replay: $REPRO_FILE must reproduce =="
-timeout 90 python -m repro fuzz --replay "$REPRO_FILE"
-echo "check_fuzz.sh: OK (smoke clean, canary found+shrunk+replayed)"
+run_canary quorum-off-by-one 1 "$CANARY_ITERS"
+run_canary forgotten-promise 42 "$CANARY_ITERS"
+echo "check_fuzz.sh: OK (smoke clean, canaries found+shrunk+replayed)"

@@ -1,17 +1,26 @@
 """Intentionally-buggy modes that prove the fuzzer has teeth.
 
 A fuzzer that has never found a bug is indistinguishable from one that
-cannot.  ``demo_bug("quorum-off-by-one")`` weakens the Paxos quorum from
-``n//2 + 1`` to ``max(1, n//2)`` — a minority "quorum", the classic
-off-by-one — for the duration of a ``with`` block.  Under partitions
-this lets both sides elect leaders and choose conflicting values, which
-the invariant registry (log divergence, duplicate leases) and the
-linearizability checker then catch.  The CI canary asserts the fuzzer
-finds and shrinks this within a bounded iteration budget.
+cannot.  Each demo bug weakens one load-bearing line of the protocol for
+the duration of a ``with`` block:
+
+- ``quorum-off-by-one`` weakens the Paxos quorum from ``n//2 + 1`` to
+  ``max(1, n//2)`` — a minority "quorum", the classic off-by-one.  Under
+  partitions this lets both sides elect leaders and choose conflicting
+  values, which the invariant registry (log divergence, duplicate
+  leases) and the linearizability checker then catch.
+- ``forgotten-promise`` makes the acceptor *claim* its promise hit the
+  WAL without ever appending it — acks still go out after a plausible
+  fsync delay, but a power failure reveals the promise was never
+  durable, so a restarted acceptor can promise backwards.  The
+  ``acceptor-durability`` invariant catches the renege at recovery
+  time.  Only bites on plans with the storage model enabled and at
+  least one crash.
 
 The patch is applied at class level inside the context manager and
 always restored, so production code paths never see it; nothing outside
-``repro.check`` imports this module.
+``repro.check`` imports this module.  The CI canary asserts the fuzzer
+finds and shrinks these within a bounded iteration budget.
 """
 
 from __future__ import annotations
@@ -20,11 +29,15 @@ from contextlib import contextmanager
 
 from repro.consensus.replica import PaxosReplica
 
-DEMO_BUGS = ("quorum-off-by-one",)
+DEMO_BUGS = ("quorum-off-by-one", "forgotten-promise")
 
 
 def _buggy_majority(self) -> int:
     return max(1, len(self.members) // 2)
+
+
+def _forgotten_promise(self, ballot) -> bool:
+    return True  # "sure, it's on disk" — without touching the WAL
 
 
 @contextmanager
@@ -35,9 +48,17 @@ def demo_bug(name: str | None):
         return
     if name not in DEMO_BUGS:
         raise ValueError(f"unknown demo bug {name!r}; known: {', '.join(DEMO_BUGS)}")
-    original = PaxosReplica._majority
-    PaxosReplica._majority = _buggy_majority
-    try:
-        yield
-    finally:
-        PaxosReplica._majority = original
+    if name == "quorum-off-by-one":
+        original = PaxosReplica._majority
+        PaxosReplica._majority = _buggy_majority
+        try:
+            yield
+        finally:
+            PaxosReplica._majority = original
+    else:  # forgotten-promise
+        original = PaxosReplica._persist_promise
+        PaxosReplica._persist_promise = _forgotten_promise
+        try:
+            yield
+        finally:
+            PaxosReplica._persist_promise = original

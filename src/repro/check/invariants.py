@@ -21,6 +21,12 @@ The catalog (see docs/TESTING.md for the full write-up):
   gaps or overlaps.  Split/merge commits propagate replica-by-replica,
   so a transient overlap is legal; the monitor only reports this one
   when it persists across several consecutive samples.
+- ``acceptor-durability`` — a replica never reneges on a promise or
+  accepted value it acked before a crash.  Breaches are detected
+  deterministically during recovery (the replica compares its recovered
+  state against the ack-time ledger and records any gap in
+  ``storage.reneged``) and double-checked live against the ledger.
+  Only meaningful on runs with the storage model enabled.
 
 End-of-run per-key linearizability of the client history is checked by
 the runner (it needs the complete history), not by this registry.
@@ -32,6 +38,7 @@ from dataclasses import dataclass
 
 from repro.dht.ring import KEY_SPACE
 from repro.group.replica import GroupStatus
+from repro.storage.disk import command_label
 from repro.txn.spec import decisions_conflict
 
 
@@ -226,11 +233,78 @@ def check_ring_coverage(system) -> list[str]:
     return []
 
 
+def check_acceptor_durability(system) -> list[str]:
+    """No replica reneges on a promise/accept it acked before a crash.
+
+    Two sources of signal, both read-only:
+
+    1. ``storage.reneged`` — breaches the replica itself detected
+       deterministically at recovery time, by comparing its recovered
+       state against the ack-time ledger.  This is the authoritative
+       detector: live protocol traffic (heartbeats raising ``promised``)
+       can mask a renege within one election timeout, long before the
+       monitor's next sample.
+    2. A live comparison of each replica's current state against the
+       ledger, which additionally catches an acceptor that silently
+       loses state *without* crashing.
+
+    Replicas without a storage region, and amnesiac replicas (their
+    learner rejoin is the sanctioned loss path — they stop acking and
+    their ledger is cleared with the wipe), are skipped.
+    """
+    problems: list[str] = []
+    # (1) recovery-time breach records, on every node dead or alive
+    # (the details already name the replica and region).
+    for name in sorted(system.nodes):
+        disk = getattr(system.nodes[name], "disk", None)
+        if disk is None:
+            continue
+        for gid in sorted(disk.regions):
+            problems.extend(disk.regions[gid].reneged)
+    # (2) live state vs ledger.
+    for name, gid, replica in _live_replicas(system):
+        paxos = replica.paxos
+        storage = paxos.storage
+        if storage is None or paxos.amnesiac or storage.amnesiac:
+            continue
+        if storage.acked_promise > paxos.promised:
+            problems.append(
+                f"{gid}@{name}: promised {paxos.promised} below acked "
+                f"promise {storage.acked_promise}"
+            )
+        log = paxos.log
+        for slot in sorted(storage.acked_accepts):
+            if slot <= paxos.applied_index or slot < log.first_slot:
+                continue
+            ballot, label = storage.acked_accepts[slot]
+            entry = log.get(slot)
+            if entry is not None and (
+                entry.chosen
+                or (
+                    entry.accepted_ballot is not None
+                    and (
+                        entry.accepted_ballot > ballot
+                        or (
+                            entry.accepted_ballot == ballot
+                            and command_label(entry.accepted_value) == label
+                        )
+                    )
+                )
+            ):
+                continue
+            problems.append(
+                f"{gid}@{name}: slot {slot} lost acked accept "
+                f"({ballot}, {label})"
+            )
+    return problems
+
+
 # Invariants safe to assert at every sample.
 CONTINUOUS_INVARIANTS: dict[str, object] = {
     "leader-exclusivity": check_leader_exclusivity,
     "log-agreement": check_log_agreement,
     "txn-atomicity": check_txn_atomicity,
+    "acceptor-durability": check_acceptor_durability,
 }
 
 # Invariants with legal transients; violated only if persistent.

@@ -22,7 +22,26 @@ from repro.sim.loop import _stable_hash
 PLAN_FORMAT = "repro.check/1"
 
 # Fault kinds a schedule entry may carry (documented in docs/TESTING.md).
-FAULT_KINDS = ("crash", "partition", "oneway", "gray", "drop", "dup", "group_op")
+# The disk_* kinds need the storage model (plan.storage) to bite; without
+# it they are applied as no-ops.
+FAULT_KINDS = (
+    "crash",
+    "partition",
+    "oneway",
+    "gray",
+    "drop",
+    "dup",
+    "group_op",
+    "disk_io",
+    "disk_slow",
+    "disk_corrupt",
+    "disk_loss",
+)
+
+# At most this many amnesia-inducing faults (disk_corrupt / disk_loss)
+# per plan: each one turns a voter into a learner for a while, and two
+# in one small group can legitimately stall it for the whole window.
+MAX_AMNESIA_FAULTS = 1
 
 
 @dataclass(frozen=True)
@@ -71,6 +90,10 @@ class FuzzPlan:
     drain: float
     schedule: tuple[FaultEntry, ...]
     ops: tuple[OpEntry, ...]
+    # Run with the durable-storage model (WAL + snapshots + real crash
+    # recovery).  Sampled plans enable it; old repro files without the
+    # field deserialize to False and replay exactly as recorded.
+    storage: bool = False
 
     @property
     def n_nodes(self) -> int:
@@ -96,7 +119,7 @@ def _sample_fault(rng: random.Random, node_names: list[str], duration: float) ->
     time = _r(rng.uniform(0.3, max(0.4, duration - 1.0)))
     kind = rng.choices(
         FAULT_KINDS,
-        weights=(28, 18, 12, 12, 8, 8, 14),
+        weights=(24, 16, 10, 10, 7, 7, 12, 5, 5, 2, 2),
     )[0]
     if kind == "crash":
         return FaultEntry(
@@ -131,6 +154,37 @@ def _sample_fault(rng: random.Random, node_names: list[str], duration: float) ->
         return FaultEntry(
             time, kind, _r(rng.uniform(0.8, 2.0)), {"prob": _r(rng.uniform(0.15, 0.4))}
         )
+    if kind == "disk_io":
+        return FaultEntry(
+            time,
+            kind,
+            _r(rng.uniform(0.5, 2.0)),
+            {"node": rng.choice(node_names)},
+        )
+    if kind == "disk_slow":
+        return FaultEntry(
+            time,
+            kind,
+            _r(rng.uniform(1.0, 3.0)),
+            {"node": rng.choice(node_names), "factor": _r(rng.uniform(10.0, 100.0))},
+        )
+    if kind == "disk_corrupt":
+        # Crash, corrupt a tail of the durable WAL, restart after
+        # `duration`: recovery detects the bad checksum and takes the
+        # amnesia path.
+        return FaultEntry(
+            time,
+            kind,
+            _r(rng.uniform(0.5, 2.0)),
+            {"node": rng.choice(node_names), "records": rng.randint(1, 8)},
+        )
+    if kind == "disk_loss":
+        return FaultEntry(
+            time,
+            kind,
+            _r(rng.uniform(0.5, 2.0)),
+            {"node": rng.choice(node_names)},
+        )
     # group_op: force a split or merge on whichever group is at `index`
     # (mod the live group count) when the entry fires.
     return FaultEntry(
@@ -153,10 +207,21 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
     node_names = [f"s{i}" for i in range(n_groups * group_size)]
 
     n_faults = rng.randint(3, 10)
-    schedule = sorted(
-        (_sample_fault(rng, node_names, duration) for _ in range(n_faults)),
-        key=lambda e: (e.time, e.kind),
-    )
+    sampled = [_sample_fault(rng, node_names, duration) for _ in range(n_faults)]
+    # Cap amnesia-inducing faults: demote extras to plain crashes so the
+    # plan keeps an entry (and its timing) without wiping a second voter.
+    amnesia_kinds = ("disk_corrupt", "disk_loss")
+    seen_amnesia = 0
+    capped = []
+    for entry in sampled:
+        if entry.kind in amnesia_kinds:
+            seen_amnesia += 1
+            if seen_amnesia > MAX_AMNESIA_FAULTS:
+                entry = FaultEntry(
+                    entry.time, "crash", entry.duration, {"node": entry.params["node"]}
+                )
+        capped.append(entry)
+    schedule = sorted(capped, key=lambda e: (e.time, e.kind))
 
     key_space = rng.choice([8, 16, 32])
     read_fraction = rng.uniform(0.35, 0.65)
@@ -189,6 +254,7 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
         drain=6.0,
         schedule=tuple(schedule),
         ops=tuple(ops),
+        storage=True,
     )
 
 
@@ -211,6 +277,7 @@ def plan_to_dict(plan: FuzzPlan) -> dict[str, Any]:
             for e in plan.schedule
         ],
         "ops": [[o.op_id, o.client, o.kind, o.key, o.think] for o in plan.ops],
+        "storage": plan.storage,
     }
 
 
@@ -232,4 +299,5 @@ def plan_from_dict(data: dict[str, Any]) -> FuzzPlan:
         drain=data["drain"],
         schedule=schedule,
         ops=ops,
+        storage=data.get("storage", False),
     )

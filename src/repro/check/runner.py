@@ -28,6 +28,7 @@ from repro.policies import ScatterPolicy
 from repro.sim.latency import LogNormalLatency
 from repro.sim.loop import Simulator, _stable_hash
 from repro.sim.network import SimNetwork
+from repro.storage.disk import StorageConfig
 
 _HEX_ADDR = re.compile(r"0x[0-9a-fA-F]+")
 
@@ -90,7 +91,9 @@ def run_plan(plan: FuzzPlan, bug: str | None = None) -> FuzzOutcome:
             net,
             n_nodes=plan.n_nodes,
             n_groups=plan.n_groups,
-            config=experiment_scatter_config(),
+            config=experiment_scatter_config(
+                storage=StorageConfig() if plan.storage else None
+            ),
             policy=policy,
         )
         clients = [

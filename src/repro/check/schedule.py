@@ -54,6 +54,7 @@ class ScheduleRunner:
         self._active_dups.clear()
         net.drop_prob = self._base_drop
         net.dup_prob = self._base_dup
+        self.target.clear_disk_faults()
         for node_id in self.target.down_ids():
             self.target.restart(node_id)
 
@@ -141,6 +142,44 @@ class ScheduleRunner:
         if prob in self._active_dups:
             self._active_dups.remove(prob)
         self.target.net.dup_prob = max([self._base_dup, *self._active_dups])
+
+    # ------------------------- disk faults ----------------------------
+    # All of these are no-ops when the deployment has no storage model
+    # (FaultTarget's disk primitives return False on disk-less nodes).
+    def _apply_disk_io(self, entry: FaultEntry) -> None:
+        node = entry.params["node"]
+        if self.target.set_disk_io_error(node, True):
+            self.sim.schedule_fire(entry.duration, self._heal_disk_io, node)
+
+    def _heal_disk_io(self, node: str) -> None:
+        if self._stopped:
+            return
+        self.target.set_disk_io_error(node, False)
+
+    def _apply_disk_slow(self, entry: FaultEntry) -> None:
+        node = entry.params["node"]
+        if self.target.set_fsync_factor(node, entry.params["factor"]):
+            self.sim.schedule_fire(entry.duration, self._heal_disk_slow, node)
+
+    def _heal_disk_slow(self, node: str) -> None:
+        if self._stopped:
+            return
+        self.target.set_fsync_factor(node, 1.0)
+
+    def _apply_disk_corrupt(self, entry: FaultEntry) -> None:
+        """Crash, corrupt a durable WAL tail, restart: recovery detects
+        the checksum failure and the node rejoins amnesiac."""
+        node = entry.params["node"]
+        if self.target.crash(node):
+            self.target.corrupt_wal_tail(node, entry.params["records"])
+            self.sim.schedule_fire(entry.duration, self.target.restart, node)
+
+    def _apply_disk_loss(self, entry: FaultEntry) -> None:
+        """Crash with total disk loss: the node rejoins amnesiac."""
+        node = entry.params["node"]
+        if self.target.crash(node):
+            self.target.lose_disk(node)
+            self.sim.schedule_fire(entry.duration, self.target.restart, node)
 
     def _apply_group_op(self, entry: FaultEntry) -> None:
         gids = sorted(self.system.active_groups())

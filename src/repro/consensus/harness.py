@@ -33,6 +33,7 @@ from repro.net.node import Node
 from repro.sim.events import EventHandle
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
+from repro.storage.disk import NodeDisk, StorageConfig
 
 PAXOS_MESSAGE_TYPES = (
     Prepare,
@@ -81,6 +82,8 @@ class PaxosHost(Node):
 
     Applied commands are recorded in ``self.applied`` (a list of
     (slot, command) pairs) and optionally forwarded to ``apply_fn``.
+    With ``storage`` set the host gets a simulated disk and the replica
+    persists through it (WAL + snapshots, real recovery on restart).
     """
 
     def __init__(
@@ -92,10 +95,13 @@ class PaxosHost(Node):
         config: PaxosConfig | None = None,
         initial_leader: str | None = None,
         apply_fn: Callable[[int, Command], Any] | None = None,
+        storage: StorageConfig | None = None,
     ) -> None:
         super().__init__(node_id, sim, net)
         self.applied: list[tuple[int, Command]] = []
         self._apply_fn = apply_fn
+        if storage is not None:
+            self.disk = NodeDisk(node_id, storage)
         self.replica = PaxosReplica(
             replica_id=node_id,
             members=members,
@@ -103,9 +109,22 @@ class PaxosHost(Node):
             apply_fn=self._apply,
             config=config,
             initial_leader=initial_leader,
+            snapshot_fn=self._snapshot,
+            restore_fn=self._restore,
+            storage=self.disk.storage_for("paxos") if self.disk is not None else None,
+            reset_fn=self._reset,
         )
         for msg_type in PAXOS_MESSAGE_TYPES:
             self.on(msg_type, self._route)
+
+    def _snapshot(self) -> list[tuple[int, Command]]:
+        return list(self.applied)
+
+    def _restore(self, state: list[tuple[int, Command]]) -> None:
+        self.applied = list(state)
+
+    def _reset(self) -> None:
+        self.applied = []
 
     def _route(self, src: str, msg: Any) -> None:
         self.replica.on_message(src, msg)
@@ -129,6 +148,7 @@ def build_cluster(
     n: int = 3,
     config: PaxosConfig | None = None,
     apply_fn: Callable[[int, Command], Any] | None = None,
+    storage: StorageConfig | None = None,
 ) -> list[PaxosHost]:
     """Build an n-node cluster with node 0 as the initial leader."""
     names = [f"n{i}" for i in range(n)]
@@ -141,6 +161,7 @@ def build_cluster(
             config=config,
             initial_leader=names[0],
             apply_fn=apply_fn,
+            storage=storage,
         )
         for name in names
     ]

@@ -35,6 +35,11 @@ class PaxosLog:
         # Slots below first_slot were compacted into a snapshot; their
         # entries are gone but remain (by construction) chosen/applied.
         self.first_slot = 0
+        # Optional hook called as observer(slot, value) the first time a
+        # slot is marked chosen.  The durable-storage model uses it to
+        # journal choices into the WAL; None (the default) costs one
+        # attribute test and nothing else.
+        self.observer = None
 
     def entry(self, slot: int) -> LogEntry:
         if slot < self.first_slot:
@@ -105,8 +110,11 @@ class PaxosLog:
             raise AssertionError(
                 f"slot {slot}: chosen value changed {e.accepted_value!r} -> {value!r}"
             )
+        newly_chosen = not e.chosen
         e.chosen = True
         e.accepted_value = value
+        if newly_chosen and self.observer is not None:
+            self.observer(slot, value)
         while self.is_chosen(self.commit_index + 1):
             self.commit_index += 1
 

@@ -22,10 +22,20 @@ machine.  The protocol follows the classic Multi-Paxos structure:
   every slot's quorum is evaluated under the configuration in effect for
   that slot.
 
-Durability model: the replica object *is* the durable state (promised
-ballot, log, applied index); a host crash suppresses timers and message
-handling, and :meth:`on_host_restart` resets only volatile leadership
-state, mirroring a process that recovers its disk but forgets its role.
+Durability model: by default the replica object *is* the durable state
+(promised ballot, log, applied index); a host crash suppresses timers
+and message handling, and :meth:`on_host_restart` resets only volatile
+leadership state, mirroring a process that recovers its disk perfectly
+but forgets its role.  When a :class:`repro.storage` region is attached
+(``storage=`` constructor argument), durability is modelled for real:
+promises and accepts are journaled to a write-ahead log and acked only
+from the fsync-completion callback, choices are journaled lazily,
+snapshots compact the WAL, and :meth:`on_host_restart` rebuilds all
+acceptor and application state from the snapshot plus the fsynced WAL
+suffix — anything the crash lost (power-failure semantics) is recovered
+through ordinary catch-up.  A replica whose disk was lost or detected
+corrupt recovers *amnesiac*: a non-voting learner until it has caught
+up to everything the leader had committed.
 """
 
 from __future__ import annotations
@@ -55,6 +65,13 @@ from repro.consensus.transport import Transport
 from repro.net.futures import Future
 from repro.net.retry import decorrelated_jitter
 from repro.obs.spans import PAXOS_ELECTION, PAXOS_SLOT
+from repro.storage.disk import (
+    REC_ACCEPT,
+    REC_CHOSEN,
+    REC_PROMISE,
+    ReplicaStorage,
+    command_label,
+)
 
 
 class NotLeader(Exception):
@@ -86,8 +103,11 @@ class PaxosConfig:
     retry_cap: float = 2.0
     catchup_batch: int = 200
     # Compact the log once this many applied entries accumulate beyond
-    # the last snapshot; 0 disables compaction.
-    compact_threshold: int = 0
+    # the last snapshot; 0 disables compaction.  Compaction also needs a
+    # snapshot_fn, so replicas built without one are unaffected.  The
+    # default keeps standard deployments from growing unbounded logs
+    # while staying out of the way of short unit-test runs.
+    compact_threshold: int = 512
     # Batch concurrently proposed app commands into one log slot: fewer
     # Paxos rounds per operation under bursty load.  batch_window is how
     # long the leader waits to coalesce (0 batches only same-instant
@@ -129,6 +149,8 @@ class PaxosReplica:
         initial_leader: str | None = None,
         snapshot_fn: Callable[[], Any] | None = None,
         restore_fn: Callable[[Any], None] | None = None,
+        storage: ReplicaStorage | None = None,
+        reset_fn: Callable[[], None] | None = None,
     ) -> None:
         # A replica whose id is not (yet) in ``members`` is a *learner*:
         # it accepts and applies but never campaigns.  This is how a
@@ -143,6 +165,18 @@ class PaxosReplica:
         self.restore_fn = restore_fn
         self.config = config or PaxosConfig()
         self._snapshot: Any = None  # latest compacted state
+        # Durable-storage model (None = the perfect-durability fiction).
+        # ``reset_fn`` resets the application state machine to its
+        # genesis image so recovery can re-derive it by replay.
+        self.storage = storage
+        self.reset_fn = reset_fn
+        self._initial_members = list(members)
+        # Amnesia: the disk was lost or found corrupt at recovery.  An
+        # amnesiac replica never votes (no Promise, no Accepted, no
+        # HeartbeatAck, no campaigns) until it has applied everything
+        # the leader had committed — see _on_message_amnesiac.
+        self.amnesiac = False
+        self._amnesia_target: int | None = None
         # repro.obs tracer, if the transport's simulator has one bound
         # (None otherwise — the disabled fast path).
         self.tracer = getattr(transport, "tracer", None)
@@ -152,12 +186,16 @@ class PaxosReplica:
         self.promised: Ballot = BALLOT_ZERO
         self.log = PaxosLog()
         self.applied_index = -1
+        if storage is not None:
+            self.log.observer = self._wal_note_chosen
 
         # Learner / follower state.
         self.leader_hint: str | None = initial_leader
         self.last_leader_contact = transport.now
         self.retired = False
-        self._last_catchup_request = -1.0
+        # Per-peer catch-up throttle: asking one (possibly dead) peer
+        # must not suppress asking a healthy one.
+        self._last_catchup_request: dict[str, float] = {}
 
         # Leader state (volatile).
         self.is_leader = False
@@ -195,12 +233,195 @@ class PaxosReplica:
         self._schedule_election_check()
 
     def on_host_restart(self) -> None:
-        """Host recovered from a crash: durable state kept, role forgotten."""
+        """Host recovered from a crash.
+
+        Without a storage region the replica object is the durable
+        state, so only volatile leadership is forgotten.  With one,
+        recovery is real: acceptor and application state are rebuilt
+        from the last snapshot plus the fsynced WAL suffix.
+        """
         self._reset_leader_state(fail_with=ProposalLost("host restarted"))
         self._end_election_span("aborted")
         self._campaigning = False
+        if self.storage is not None:
+            self._recover_from_storage()
         self.last_leader_contact = self.transport.now
         self._schedule_election_check()
+
+    # ------------------------------------------------------------------
+    # Durable storage: write path and recovery
+    # ------------------------------------------------------------------
+    def _wal_note_chosen(self, slot: int, value: Any) -> None:
+        """PaxosLog observer: lazily journal choices (no fsync barrier)."""
+        self.storage.append_chosen(slot, value)
+
+    def _persist_promise(self, ballot: Ballot) -> bool:
+        """Journal a promise before acking it.  A demo bug patches this
+        to skip the append — the acked-but-not-durable bug the
+        ``acceptor-durability`` invariant exists to catch."""
+        return self.storage.append_promise(ballot)
+
+    def _fsync_then_send(
+        self, dst: str, msg: Any, kind: str, ballot: Ballot, slot: int, label: str
+    ) -> None:
+        """Ack only once the fsync covering the journaled record completes.
+
+        The timer is crash-guarded, so a crash inside the window means
+        no ack was sent — consistent with the un-fsynced record being
+        lost to the power failure.
+        """
+        storage = self.storage
+        upto = storage.current_seq()
+
+        def complete() -> None:
+            if not storage.fsync_ok():
+                return  # IO error at fsync time: record stays volatile, no ack
+            storage.mark_synced(upto)
+            if kind == REC_PROMISE:
+                storage.note_acked_promise(ballot)
+            else:
+                storage.note_acked_accept(slot, ballot, label)
+            self.transport.send(dst, msg)
+
+        self.transport.set_timer(storage.fsync_delay(), complete)
+
+    def _recover_from_storage(self) -> None:
+        """Rebuild all state from disk: snapshot, then WAL replay.
+
+        Promise and accept records restore the acceptor's obligations;
+        chosen records restore the committed prefix, and re-applying it
+        (via ``apply_fn``) re-derives the application state machine from
+        the genesis image ``reset_fn`` restored.  A wiped or corrupt
+        region instead enters amnesia with empty state.
+        """
+        storage = self.storage
+        acked_promise = storage.acked_promise
+        acked_accepts = dict(storage.acked_accepts)
+        snapshot, records = storage.recovery_image()
+
+        self.promised = storage.durable_promise
+        self.log = PaxosLog()
+        self.applied_index = -1
+        self.members = list(self._initial_members)
+        self.ballot = BALLOT_ZERO
+        self._max_round_seen = 0
+        self._next_slot = 0
+        if self.reset_fn is not None:
+            self.reset_fn()
+        if snapshot is not None:
+            state, last_included, members = snapshot
+            if self.restore_fn is not None:
+                self.restore_fn(state)
+            self._snapshot = state
+            self.applied_index = last_included
+            self.members = list(members)
+            self.log.reset_to(last_included + 1)
+        for record in records:
+            if record.kind == REC_PROMISE:
+                if record.ballot > self.promised:
+                    self.promised = record.ballot
+            elif record.kind == REC_ACCEPT:
+                # Accepting at a ballot implies having promised it.
+                if record.ballot > self.promised:
+                    self.promised = record.ballot
+                if record.slot >= self.log.first_slot and not self.log.is_chosen(record.slot):
+                    entry = self.log.entry(record.slot)
+                    if entry.accepted_ballot is None or record.ballot >= entry.accepted_ballot:
+                        entry.accepted_ballot = record.ballot
+                        entry.accepted_value = record.value
+            elif record.kind == REC_CHOSEN:
+                self.log.mark_chosen(record.slot, record.value)
+        self.log.observer = self._wal_note_chosen
+        self._note_ballot(self.promised)
+        self.amnesiac = storage.amnesiac
+        self._amnesia_target = None
+        if not self.amnesiac:
+            self._check_durability(acked_promise, acked_accepts)
+        self._apply_committed()
+
+    def _check_durability(
+        self, acked_promise: Ballot, acked_accepts: dict[int, tuple[Ballot, str]]
+    ) -> None:
+        """Compare recovered state against the acked ledger (checker aid).
+
+        A breach here is definitive evidence the replica reneged on
+        something it acked before the crash; it is recorded on the
+        storage region, where the ``acceptor-durability`` invariant
+        reports it.  Never consulted by the protocol.
+        """
+        storage = self.storage
+        if acked_promise > self.promised:
+            storage.reneged.append(
+                f"{self.replica_id}/{storage.gid}: recovered promised "
+                f"{self.promised} below acked promise {acked_promise}"
+            )
+        for slot, (ballot, label) in sorted(acked_accepts.items()):
+            if slot <= self.applied_index:
+                continue  # covered by the snapshot image
+            entry = self.log.get(slot)
+            intact = entry is not None and (
+                entry.chosen
+                or (
+                    entry.accepted_ballot is not None
+                    and (
+                        entry.accepted_ballot > ballot
+                        or (
+                            entry.accepted_ballot == ballot
+                            and command_label(entry.accepted_value) == label
+                        )
+                    )
+                )
+            )
+            if not intact:
+                storage.reneged.append(
+                    f"{self.replica_id}/{storage.gid}: slot {slot} acked accept "
+                    f"at {ballot} ({label}) missing after recovery"
+                )
+
+    def _on_message_amnesiac(self, src: str, msg: Any) -> None:
+        """Learner-only processing for a replica that lost its disk.
+
+        It never votes — no Promise, no Accepted, and no HeartbeatAck
+        (an amnesiac ack must not help extend a lease, because the
+        forgotten promises may be exactly what made that lease stale).
+        It tracks the leader, pulls the log through catch-up, and
+        becomes a voter again once it has applied everything the leader
+        had committed when contact was re-established.
+        """
+        kind = type(msg)
+        if kind in (Heartbeat, Accept):
+            self._note_ballot(msg.ballot)
+            if src != self.replica_id:
+                self.leader_hint = src
+                self.last_leader_contact = self.transport.now
+            target = self._amnesia_target
+            if target is None or msg.commit_index > target:
+                self._amnesia_target = msg.commit_index
+            if msg.commit_index > self.log.commit_index:
+                self._request_catchup(src)
+        elif kind is CatchupReply:
+            self._on_catchup_reply(src, msg)
+        elif kind is InstallSnapshot:
+            self._on_install_snapshot(src, msg)
+        elif kind is NotMember:
+            self.retire()
+            return
+        self._maybe_end_amnesia()
+
+    def _maybe_end_amnesia(self) -> None:
+        if self._amnesia_target is None or self.applied_index < self._amnesia_target:
+            return
+        self.amnesiac = False
+        self._amnesia_target = None
+        self.storage.clear_amnesia()
+        # Snapshot the caught-up state so the next crash does not have
+        # to repeat the full catch-up from genesis.
+        if self.snapshot_fn is not None and self.applied_index >= 0:
+            self._snapshot = self.snapshot_fn()
+            self.storage.save_snapshot(
+                self._snapshot, self.applied_index, tuple(self.members)
+            )
+        self.last_leader_contact = self.transport.now
 
     def _end_election_span(self, outcome: str) -> None:
         """Close the open election span, recording how the campaign ended."""
@@ -411,6 +632,9 @@ class PaxosReplica:
     def on_message(self, src: str, msg: Any) -> None:
         if self.retired:
             return
+        if self.amnesiac:
+            self._on_message_amnesiac(src, msg)
+            return
         handler = self._HANDLERS.get(type(msg))
         if handler is not None:
             handler(self, src, msg)
@@ -435,7 +659,7 @@ class PaxosReplica:
         self._schedule_election_check()
 
     def _start_campaign(self) -> None:
-        if self.retired or self.replica_id not in self.members:
+        if self.retired or self.amnesiac or self.replica_id not in self.members:
             return
         self._campaigning = True
         self._campaign_promises = {}
@@ -491,6 +715,11 @@ class PaxosReplica:
             accepted=accepted,
             commit_index=self.log.commit_index,
         )
+        if self.storage is not None:
+            if not self._persist_promise(msg.ballot):
+                return  # disk IO error: cannot promise durably, stay silent
+            self._fsync_then_send(src, reply, REC_PROMISE, msg.ballot, -1, "")
+            return
         self._send_durable(src, reply)
 
     def _on_promise(self, src: str, msg: Promise) -> None:
@@ -624,7 +853,19 @@ class PaxosReplica:
         if not entry.chosen:
             entry.accepted_ballot = msg.ballot
             entry.accepted_value = msg.command
-        self._send_durable(src, Accepted(msg.ballot, msg.slot))
+        if self.storage is not None:
+            if self.storage.append_accept(msg.slot, msg.ballot, msg.command):
+                self._fsync_then_send(
+                    src,
+                    Accepted(msg.ballot, msg.slot),
+                    REC_ACCEPT,
+                    msg.ballot,
+                    msg.slot,
+                    command_label(msg.command),
+                )
+            # On append failure (IO error) no ack: the leader retries.
+        else:
+            self._send_durable(src, Accepted(msg.ballot, msg.slot))
         self._learn_commit_index(src, msg.ballot, msg.commit_index)
 
     def _send_durable(self, dst: str, msg: Any) -> None:
@@ -815,9 +1056,9 @@ class PaxosReplica:
 
     def _request_catchup(self, src: str) -> None:
         now = self.transport.now
-        if now - self._last_catchup_request < self.config.heartbeat_interval:
+        if now - self._last_catchup_request.get(src, -1.0) < self.config.heartbeat_interval:
             return
-        self._last_catchup_request = now
+        self._last_catchup_request[src] = now
         self.transport.send(src, CatchupRequest(from_slot=self.log.commit_index + 1))
 
     def _on_not_member(self, src: str, msg: NotMember) -> None:
@@ -849,6 +1090,10 @@ class PaxosReplica:
         self.restore_fn(msg.snapshot)
         self.applied_index = msg.last_included
         self.members = list(msg.members)
+        if self.storage is not None:
+            self.storage.save_snapshot(
+                msg.snapshot, msg.last_included, tuple(msg.members)
+            )
         self.log.reset_to(msg.last_included + 1)
         # The jump may have exposed already-chosen retained entries.
         self._apply_committed()
@@ -862,6 +1107,10 @@ class PaxosReplica:
         if self.applied_index - self.log.first_slot + 1 < threshold:
             return
         self._snapshot = self.snapshot_fn()
+        if self.storage is not None:
+            self.storage.save_snapshot(
+                self._snapshot, self.applied_index, tuple(self.members)
+            )
         self.log.truncate_before(self.applied_index + 1)
 
     def _on_catchup_reply(self, src: str, msg: CatchupReply) -> None:

@@ -40,6 +40,7 @@ from repro.policies import ScatterPolicy
 from repro.sim.events import EventHandle
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
+from repro.storage.disk import NodeDisk, ReplicaStorage, StorageConfig
 from repro.txn.spec import (
     GroupPlan,
     MergeSpec,
@@ -75,6 +76,12 @@ class ScatterConfig:
     # saturate under offered load, giving the classic latency-throughput
     # curve (experiment E14).
     op_service_time: float = 0.0
+    # Durable-storage model (repro.storage).  None keeps the historical
+    # fiction (restart recovers the replica object perfectly and no disk
+    # events exist); a StorageConfig gives every node a simulated disk
+    # with WAL + snapshots, power-failure crash semantics, and real
+    # recovery on restart.
+    storage: "StorageConfig | None" = None
 
 
 class _GroupTransport:
@@ -122,6 +129,8 @@ class ScatterNode(Node):
         super().__init__(node_id, sim, net)
         self.config = config or ScatterConfig()
         self.policy = policy or ScatterPolicy()
+        if self.config.storage is not None:
+            self.disk = NodeDisk(node_id, self.config.storage)
         self.groups: dict[str, GroupReplica] = {}
         self.forwarding: dict[str, tuple[GroupInfo, ...]] = {}
         self.txn_outcomes: dict[str, tuple[TxnDecision, dict]] = {}
@@ -174,6 +183,12 @@ class ScatterNode(Node):
 
     def group_transport(self, gid: str) -> _GroupTransport:
         return _GroupTransport(self, gid)
+
+    def replica_storage(self, gid: str) -> ReplicaStorage | None:
+        """Durable region for ``gid`` on this node's disk (None = no disk)."""
+        if self.disk is None:
+            return None
+        return self.disk.storage_for(gid)
 
     def create_group(self, genesis: GroupGenesis) -> None:
         if genesis.gid in self.groups or genesis.gid in self.forwarding:

@@ -387,6 +387,93 @@ class Duplicator(Nemesis):
         self._heal_round()
 
 
+class DiskFaults(Nemesis):
+    """Storage-layer faults against nodes with a simulated disk.
+
+    Each round picks a victim and one of three modes: an *io_error*
+    window (appends/fsyncs/snapshot writes fail, so the replica goes
+    silent instead of acking), a *slow* window (fsync latency multiplied,
+    the storage flavor of a gray failure), or a *power_cycle* (crash and
+    restart, exercising the lost-suffix recovery path).  No-op against
+    deployments without the storage model — there are no disks to hurt.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "disk-faults",
+        period: float = 4.0,
+        duration: float = 1.5,
+        slow_factor: tuple[float, float] = (10.0, 100.0),
+        downtime: tuple[float, float] = (0.5, 2.0),
+    ) -> None:
+        super().__init__(sim, target, name)
+        self.period = period
+        self.duration = duration
+        self.slow_factor = slow_factor
+        self.downtime = downtime
+        self._io_victims: set[str] = set()
+        self._slow_victims: set[str] = set()
+        self._down: set[str] = set()
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.period), self._tick)
+
+    def _tick(self) -> None:
+        busy = self._io_victims | self._slow_victims | self._down
+        candidates = [
+            n for n in self.target.disk_ids() if n not in busy and n in self.target.alive_ids()
+        ]
+        if candidates:
+            victim = self.rng.choice(candidates)
+            mode = self.rng.choice(("io_error", "slow", "power_cycle"))
+            if mode == "io_error":
+                self.target.set_disk_io_error(victim, True)
+                self._io_victims.add(victim)
+                self._record("io_error", victim)
+                self.sim.schedule(self.duration, self._heal_io, victim)
+            elif mode == "slow":
+                factor = self.rng.uniform(*self.slow_factor)
+                self.target.set_fsync_factor(victim, factor)
+                self._slow_victims.add(victim)
+                self._record("slow_fsync", victim, round(factor, 3))
+                self.sim.schedule(self.duration, self._heal_slow, victim)
+            elif self.target.crash(victim):
+                self._down.add(victim)
+                self._record("power_cycle", victim)
+                self.sim.schedule(self.rng.uniform(*self.downtime), self._restore, victim)
+        self._while_running(self._jittered(self.period), self._tick)
+
+    def _heal_io(self, victim: str) -> None:
+        if victim in self._io_victims:
+            self._io_victims.discard(victim)
+            self.target.set_disk_io_error(victim, False)
+            self._record("heal_io", victim)
+
+    def _heal_slow(self, victim: str) -> None:
+        if victim in self._slow_victims:
+            self._slow_victims.discard(victim)
+            self.target.set_fsync_factor(victim, 1.0)
+            self._record("heal_slow", victim)
+
+    def _restore(self, victim: str) -> None:
+        if victim in self._down:
+            self._down.discard(victim)
+            if self.target.restart(victim):
+                self._record("restart", victim)
+
+    def _heal(self) -> None:
+        for victim in sorted(self._io_victims):
+            self._heal_io(victim)
+        for victim in sorted(self._slow_victims):
+            self._heal_slow(victim)
+        for victim in sorted(self._down):
+            if self.target.restart(victim):
+                self._record("restart", victim)
+        self._down.clear()
+
+
 class NemesisSuite:
     """Several nemeses run as one: start/stop together, merged events."""
 

@@ -16,6 +16,7 @@ from typing import Any
 from repro.faults.nemesis import (
     AsymmetricPartition,
     CrashRestartStorm,
+    DiskFaults,
     DropBurst,
     Duplicator,
     GraySlowdown,
@@ -33,6 +34,7 @@ NEMESIS_KINDS: dict[str, type[Nemesis]] = {
     "drop_burst": DropBurst,
     "gray_slowdown": GraySlowdown,
     "duplicator": Duplicator,
+    "disk_faults": DiskFaults,
 }
 
 
@@ -50,11 +52,18 @@ class NemesisSpec:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named, composable fault schedule."""
+    """A named, composable fault schedule.
+
+    ``needs_storage`` marks scenarios whose faults act on simulated
+    disks: deployment builders (the CLI ``nemesis`` command,
+    ``_nemesis_run``) enable the durable-storage model for them, since
+    against a disk-less deployment those nemeses would be no-ops.
+    """
 
     name: str
     description: str
     nemeses: tuple[NemesisSpec, ...]
+    needs_storage: bool = False
 
 
 def build_scenario(
@@ -162,6 +171,19 @@ _register(Scenario(
         NemesisSpec("duplicator",
                     {"period": 4.0, "duration": 2.5, "dup_prob": 0.3}),
     ),
+))
+
+_register(Scenario(
+    name="disk_faults",
+    description="Storage faults: IO-error windows, 10-100x slow fsync, and "
+                "power cycles that lose the un-fsynced WAL suffix.  Only "
+                "meaningful against deployments with the storage model on.",
+    nemeses=(
+        NemesisSpec("disk_faults",
+                    {"period": 3.0, "duration": 1.5,
+                     "slow_factor": (10.0, 100.0), "downtime": (0.5, 2.0)}),
+    ),
+    needs_storage=True,
 ))
 
 _register(Scenario(

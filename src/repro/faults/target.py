@@ -68,3 +68,54 @@ class FaultTarget:
             return False
         node.restart()
         return True
+
+    # ------------------------------------------------------------------
+    # Disk faults (no-ops on deployments without the storage model)
+    # ------------------------------------------------------------------
+    def disk(self, node_id: str):
+        """The node's simulated disk, or None (no node / no storage model)."""
+        node = self.nodes.get(node_id)
+        return getattr(node, "disk", None)
+
+    def disk_ids(self) -> list[str]:
+        """Nodes that actually have a simulated disk."""
+        return sorted(n for n in self.nodes if self.disk(n) is not None)
+
+    def set_disk_io_error(self, node_id: str, failing: bool) -> bool:
+        """Toggle the IO-error flag: appends/fsyncs/snapshots fail silently."""
+        disk = self.disk(node_id)
+        if disk is None:
+            return False
+        disk.io_error = failing
+        return True
+
+    def set_fsync_factor(self, node_id: str, factor: float) -> bool:
+        """Scale fsync latency (slow/degraded disk; 1.0 = healthy)."""
+        disk = self.disk(node_id)
+        if disk is None:
+            return False
+        disk.fsync_factor = factor
+        return True
+
+    def lose_disk(self, node_id: str) -> bool:
+        """Wipe the node's disk; its replicas will rejoin amnesiac."""
+        disk = self.disk(node_id)
+        if disk is None:
+            return False
+        disk.wipe()
+        return True
+
+    def corrupt_wal_tail(self, node_id: str, count: int) -> bool:
+        """Checksum-corrupt the last ``count`` durable WAL records."""
+        disk = self.disk(node_id)
+        if disk is None:
+            return False
+        disk.corrupt_tail(count)
+        return True
+
+    def clear_disk_faults(self) -> None:
+        """Reset IO-error and fsync-speed flags on every disk (heal)."""
+        for node_id in self.nodes:
+            disk = self.disk(node_id)
+            if disk is not None:
+                disk.clear_faults()

@@ -57,6 +57,10 @@ class GroupHost(Protocol):
     def after_migrate_commit(self, spec: MigrateSpec, gid: str) -> None:
         """Leader-side follow-up: issue the config changes for a migration."""
 
+    # Hosts that model durability additionally expose
+    # ``replica_storage(gid) -> ReplicaStorage | None``; the group replica
+    # discovers it via getattr so Protocol fakes in tests stay valid.
+
 
 class GroupReplica:
     """Paxos replica + key-value store + overlay metadata for one group.
@@ -96,6 +100,8 @@ class GroupReplica:
         # transition twice — an at-most-once violation.
         self.txn_log: list[tuple[str, str]] = []
         self.created_at = host.now
+        storage_for = getattr(host, "replica_storage", None)
+        storage = storage_for(self.gid) if storage_for is not None else None
         self.paxos = PaxosReplica(
             replica_id=host.node_id,
             members=list(genesis.members),
@@ -105,6 +111,8 @@ class GroupReplica:
             initial_leader=genesis.initial_leader,
             snapshot_fn=self.snapshot,
             restore_fn=self.restore,
+            storage=storage,
+            reset_fn=self.reset_to_genesis,
         )
         # repro.obs tracer shared with the Paxos replica (None = off).
         self.tracer = self.paxos.tracer
@@ -228,6 +236,28 @@ class GroupReplica:
         self.epoch = snap.get("epoch", 0)
         if self.status is GroupStatus.RETIRED and self.forwarding:
             self.host.on_group_retired(self.gid, self.forwarding)
+
+    def reset_to_genesis(self) -> None:
+        """Forget all applied state, back to the group's genesis image.
+
+        Called by the Paxos replica at the start of durable recovery:
+        the state machine must be rebuilt purely from the recovered
+        snapshot + replayed log, so everything :meth:`_apply` ever
+        touched is reset to its constructor value first.
+        """
+        self.range = self.genesis.range
+        self.predecessor = self.genesis.predecessor
+        self.successor = self.genesis.successor
+        self.status = GroupStatus.ACTIVE
+        self.forwarding = ()
+        self.store = KvStore()
+        self.store.absorb(self.genesis.kv)
+        self.active_txn = None
+        self.frozen_since = -1.0
+        self.completed_txns = set()
+        self.epoch = 0
+        self.txn_log = []
+        self._freeze_span = None
 
     # ------------------------------------------------------------------
     # Apply (every replica, in log order)

@@ -1,4 +1,4 @@
-"""Experiment entry points E1–E16 (see DESIGN.md for the index).
+"""Experiment entry points E1–E17 (see DESIGN.md for the index).
 
 Every function returns an :class:`ExperimentResult` whose rows are the
 series the corresponding figure/table in the paper plots.  ``quick=True``
@@ -17,7 +17,7 @@ from repro.analysis.liveness import LivenessWatchdog
 from repro.analysis.stats import mean, percentile
 from repro.consensus.replica import PaxosConfig
 from repro.dht.client import ClientConfig
-from repro.faults import FaultTarget, build_scenario
+from repro.faults import FaultTarget, build_scenario, get_scenario
 from repro.harness.builders import (
     DeploymentParams,
     build_chord_deployment,
@@ -28,6 +28,7 @@ from repro.harness.metrics import workload_metrics
 from repro.harness.results import ExperimentResult
 from repro.policies import ScatterPolicy
 from repro.sim.latency import WanLatencyMatrix
+from repro.storage.disk import StorageConfig
 from repro.txn.classic import ClassicCoordinator, ClassicParticipant
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
@@ -96,7 +97,14 @@ def _nemesis_run(
     ``recovery_cap`` seconds.
     """
     if backend == "scatter":
-        deployment = build_scatter_deployment(params, policy=ScatterPolicy(**CHURN_POLICY_KWARGS))
+        # Disk-fault scenarios need disks to act on; every other scenario
+        # runs storage-off so E16 stays on the zero-perturbation path.
+        config = None
+        if get_scenario(scenario).needs_storage:
+            config = experiment_scatter_config(storage=StorageConfig())
+        deployment = build_scatter_deployment(
+            params, policy=ScatterPolicy(**CHURN_POLICY_KWARGS), config=config
+        )
     else:
         deployment = build_chord_deployment(params)
     sim, system, clients = deployment.sim, deployment.system, deployment.clients
@@ -971,6 +979,112 @@ def run_e16(quick: bool = True, seed: int = 16) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# E17: crash recovery vs snapshot threshold (durable storage model)
+# ---------------------------------------------------------------------------
+def run_e17(quick: bool = True, seed: int = 17) -> ExperimentResult:
+    """Recovery cost and availability dip under a restart storm.
+
+    Runs the same Scatter deployment with the durable-storage model on
+    and a crash/restart storm, sweeping the snapshot (compaction)
+    threshold.  0 disables compaction, so every recovery replays the
+    full WAL; small thresholds keep replay short at the price of more
+    snapshot writes.  The replay-length columns come straight from the
+    per-region disk counters.
+    """
+    result = ExperimentResult(
+        experiment="E17",
+        title="E17: crash recovery cost vs snapshot threshold (durable storage)",
+        columns=[
+            "compact_threshold", "ops", "availability", "recoveries",
+            "mean_replay", "max_replay", "snapshot_pct",
+            "stalls", "max_stall_s", "recovery_s",
+        ],
+        notes=(
+            "durable-storage model on; crash/restart storm for the whole "
+            "window; mean/max_replay = WAL records replayed per recovery; "
+            "snapshot_pct = recoveries that started from a snapshot; "
+            "threshold 0 = compaction off (replay grows with uptime)"
+        ),
+    )
+    from repro.faults.nemesis import CrashRestartStorm
+    from repro.storage.disk import StorageConfig
+
+    duration = 30.0 if quick else 90.0
+    thresholds = (0, 64, 256, 1024) if quick else (0, 32, 64, 128, 256, 512, 1024)
+    recovery_cap = 20.0
+    for threshold in thresholds:
+        paxos = PaxosConfig(
+            heartbeat_interval=0.15,
+            election_timeout=0.7,
+            lease_duration=0.5,
+            retry_interval=0.4,
+            compact_threshold=threshold,
+        )
+        params = DeploymentParams(n_nodes=12, n_groups=4, n_clients=3, seed=seed)
+        deployment = build_scatter_deployment(
+            params,
+            policy=ScatterPolicy(**CHURN_POLICY_KWARGS),
+            config=experiment_scatter_config(paxos=paxos, storage=StorageConfig()),
+        )
+        sim, system, clients = deployment.sim, deployment.system, deployment.clients
+        workload = ClosedLoopWorkload(
+            sim, clients, UniformKeys(40), read_fraction=0.5, think_time=0.05
+        )
+        workload.start()
+        sim.run_for(5.0)
+
+        def completed_ops() -> int:
+            return sum(1 for r in workload.all_records() if r.completed)
+
+        storm = CrashRestartStorm(
+            sim,
+            FaultTarget.for_system(system),
+            interval=2.0,
+            downtime=(0.5, 2.5),
+            max_down=1,
+        )
+        watchdog = LivenessWatchdog(sim, completed_ops, window=3.0)
+        start = sim.now
+        watchdog.start()
+        storm.start()
+        sim.run_for(duration)
+        storm.stop()
+        fault_end = sim.now
+        before_recovery = completed_ops()
+        recovery = 0.0
+        while recovery < recovery_cap and completed_ops() == before_recovery:
+            sim.run_for(0.25)
+            recovery += 0.25
+        watchdog.stop()
+        workload.stop()
+        sim.run_for(2.0)
+
+        regions = [
+            region
+            for node in system.nodes.values()
+            if node.disk is not None
+            for region in node.disk.regions.values()
+        ]
+        recoveries = sum(r.recoveries for r in regions)
+        replay_total = sum(r.replayed_total for r in regions)
+        snapshot_recoveries = sum(r.snapshot_recoveries for r in regions)
+        metrics = workload_metrics(workload.all_records(), window=(start, fault_end))
+        result.add(
+            compact_threshold=threshold,
+            ops=metrics["ops"],
+            availability=metrics["availability"],
+            recoveries=recoveries,
+            mean_replay=replay_total / max(1, recoveries),
+            max_replay=max((r.max_replayed for r in regions), default=0),
+            snapshot_pct=100.0 * snapshot_recoveries / max(1, recoveries),
+            stalls=watchdog.stall_count,
+            max_stall_s=watchdog.max_stall,
+            recovery_s=recovery,
+        )
+    return result
+
+
 EXPERIMENT_TITLES = {
     "E1": "inconsistent lookups in a Chord-style DHT vs churn (motivation)",
     "E2": "linearizability violations, Scatter vs Chord, under churn (headline)",
@@ -988,6 +1102,7 @@ EXPERIMENT_TITLES = {
     "E14": "bonus: latency-throughput saturation curve",
     "E15": "bonus: Paxos write batching ablation",
     "E16": "availability and recovery under gray failures vs clean crashes",
+    "E17": "crash recovery cost vs snapshot threshold (durable storage)",
 }
 
 def _with_wall_clock(fn):
@@ -1029,6 +1144,7 @@ ALL_EXPERIMENTS = {
         "E14": run_e14,
         "E15": run_e15,
         "E16": run_e16,
+        "E17": run_e17,
     }.items()
 }
 

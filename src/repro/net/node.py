@@ -41,6 +41,9 @@ class Node:
         self.sim = sim
         self.net = net
         self.alive = True
+        # Simulated durable disk (repro.storage.NodeDisk), attached by
+        # subclasses that model durability; None = no storage model.
+        self.disk = None
         self._handlers: dict[type, Callable[[str, Any], Any]] = {}
         self._pending_rpcs: dict[int, Future] = {}
         self._timers: list[EventHandle] = []
@@ -109,11 +112,18 @@ class Node:
     # Crash / restart
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Fail-stop: drop timers, pending RPCs, and go silent."""
+        """Fail-stop: drop timers, pending RPCs, and go silent.
+
+        With a disk attached, the crash is a power failure: the disk
+        keeps only what reached a completed fsync — the un-fsynced WAL
+        suffix is lost and must be recovered through the protocol.
+        """
         if not self.alive:
             return
         self.alive = False
         self.net.set_down(self.node_id)
+        if self.disk is not None:
+            self.disk.power_failure()
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()

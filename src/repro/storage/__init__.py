@@ -1,0 +1,32 @@
+"""Simulated durable storage: per-node WAL, snapshots, disk faults.
+
+The storage model gives crash/restart its teeth.  Without it the
+replica object *is* the durable state and every restart recovers
+perfectly; with it, acceptor state lives in a per-node
+:class:`~repro.storage.disk.NodeDisk` whose write-ahead log has explicit
+fsync boundaries, a crash loses the un-fsynced suffix (power-failure
+semantics), and restart runs real recovery — snapshot load plus WAL
+replay.  Disk faults (IO errors, checksum-detected corruption, slow
+fsync, full disk loss) are first-class and injectable by the nemesis
+and fuzzer layers.
+
+Zero-perturbation: when no :class:`StorageConfig` is attached to a
+deployment, no disk objects exist, no extra events are scheduled, and
+every result is byte-identical to a build without this package.
+"""
+
+from repro.storage.disk import (
+    NodeDisk,
+    ReplicaStorage,
+    StorageConfig,
+    WalRecord,
+    command_label,
+)
+
+__all__ = [
+    "NodeDisk",
+    "ReplicaStorage",
+    "StorageConfig",
+    "WalRecord",
+    "command_label",
+]
