@@ -9,7 +9,12 @@
 #     a bug is indistinguishable from one that cannot — this proves the
 #     harness has teeth on every CI run.  quorum-off-by-one exercises
 #     the safety invariants; forgotten-promise exercises
-#     acceptor-durability on storage-enabled plans.
+#     acceptor-durability on storage-enabled plans; repair-race
+#     exercises replication-floor on node_loss plans (repair that
+#     skips the 2PC heals the roster but not the replication).
+#
+# A node_loss_storm nemesis run rides along as a third gate: permanent
+# losses under live load must end recovered with zero violations.
 #
 # Usage: scripts/check_fuzz.sh [smoke-iterations] [canary-iterations]
 # Set OUT_DIR to keep the repro files (CI uploads them as artifacts on
@@ -41,7 +46,8 @@ run_canary() {
     seed="$2"
     iters="$3"
     echo "== fuzz canary: --demo-bug $bug, expecting a find =="
-    before="$(ls "$OUT_DIR"/repro-*.json 2>/dev/null || true)"
+    marker="$OUT_DIR/.canary-start"
+    : > "$marker"
     set +e
     timeout 120 python -m repro fuzz --iterations "$iters" --seed "$seed" \
         --demo-bug "$bug" --out-dir "$OUT_DIR"
@@ -51,10 +57,9 @@ run_canary() {
         echo "check_fuzz.sh: $bug canary expected exit 1 (bug found), got $status" >&2
         exit 1
     fi
-    REPRO_FILE=""
-    for f in "$OUT_DIR"/repro-*.json; do
-        case " $before " in *" $f "*) ;; *) REPRO_FILE="$f" ;; esac
-    done
+    # The repro file this canary wrote is the one newer than the marker;
+    # repro names are seed-derived, so lexical order says nothing useful.
+    REPRO_FILE="$(find "$OUT_DIR" -name 'repro-*.json' -newer "$marker" | head -n 1)"
     if [ -z "$REPRO_FILE" ]; then
         echo "check_fuzz.sh: $bug canary found a bug but wrote no repro file" >&2
         exit 1
@@ -65,4 +70,9 @@ run_canary() {
 
 run_canary quorum-off-by-one 1 "$CANARY_ITERS"
 run_canary forgotten-promise 42 "$CANARY_ITERS"
-echo "check_fuzz.sh: OK (smoke clean, canaries found+shrunk+replayed)"
+run_canary repair-race 29 "$CANARY_ITERS"
+
+echo "== nemesis: node_loss_storm, expecting recovery with no violations =="
+timeout 120 python -m repro nemesis node_loss_storm --duration 30
+
+echo "check_fuzz.sh: OK (smoke clean, canaries found+shrunk+replayed, storm recovered)"

@@ -6,12 +6,19 @@ from repro.analysis.linearizability import (
     check_key_history,
     wing_gong_check,
 )
-from repro.analysis.liveness import LivenessWatchdog, Stall
+from repro.analysis.liveness import (
+    GroupQuorumWatch,
+    LivenessWatchdog,
+    QuorumVerdict,
+    Stall,
+)
 from repro.analysis.stats import cdf_points, mean, percentile, summarize_latencies
 
 __all__ = [
     "CheckResult",
+    "GroupQuorumWatch",
     "LivenessWatchdog",
+    "QuorumVerdict",
     "Stall",
     "cdf_points",
     "check_history",

@@ -8,6 +8,17 @@ records every window of simulated time longer than ``window`` in which
 the probe did not advance.  Fault tests can then assert *recovery* —
 "the system stalled during the partition but resumed within N seconds
 of the heal" — instead of safety alone.
+
+:class:`GroupQuorumWatch` renders the companion verdict for *groups*:
+a consensus group that has permanently lost quorum (a majority of its
+members are gone or amnesiac) can never elect a leader again, so it
+will stall forever by design — repair cannot touch it, and the
+``replication-floor`` invariant deliberately skips it.  The watch
+samples per-group voting strength and distinguishes "permanently below
+quorum since t=X" (dead) from "dipped below quorum and recovered"
+(transient), reporting the first-below-quorum timestamp for each dead
+group.  Like the watchdog, it is probe-driven and knows nothing about
+any particular system type.
 """
 
 from __future__ import annotations
@@ -135,3 +146,112 @@ class LivenessWatchdog:
                 f"liveness: no progress since t={last.start:.3f} "
                 f"({last.duration:.3f}s stalled at stop)"
             )
+
+
+@dataclass(frozen=True)
+class QuorumVerdict:
+    """Terminal quorum health of one consensus group.
+
+    ``verdict`` is ``"dead"`` (below quorum at stop — permanently, since
+    a group without quorum cannot act to regain it), ``"transient"``
+    (dipped below quorum at some point but held it at stop), or
+    ``"healthy"`` (never observed below quorum).  ``first_below`` is
+    the start of the below-quorum window that was still open at stop
+    (dead groups only); ``dips`` counts recovered below-quorum windows.
+    """
+
+    gid: str
+    verdict: str
+    first_below: float | None
+    dips: int
+
+
+class GroupQuorumWatch:
+    """Samples per-group voting strength and issues quorum verdicts.
+
+    ``probe`` returns ``{gid: (voting, members)}`` — live replicas able
+    to vote vs. the group's configured membership size — for every
+    group that currently exists.  A group that disappears between
+    samples was retired legitimately (merged away) and is dropped from
+    the report; death is only ever declared for a group still present
+    at the final sample.  Poll accuracy is one ``check_interval``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], dict[str, tuple[int, int]]],
+        check_interval: float = 1.0,
+    ) -> None:
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.sim = sim
+        self.probe = probe
+        self.check_interval = check_interval
+        self.running = False
+        self._below_since: dict[str, float] = {}
+        self._dips: dict[str, int] = {}
+        self._last_sample: dict[str, tuple[int, int]] = {}
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._sample()
+        self.sim.schedule(self.check_interval, self._tick)
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self._sample()
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self._sample()
+        self.sim.schedule(self.check_interval, self._tick)
+
+    def _sample(self) -> None:
+        sample = self.probe()
+        now = self.sim.now
+        for gid in list(self._below_since):
+            if gid not in sample:
+                # Retired between samples — a merged-away group is not
+                # a dead one, and its dip history dies with it.
+                del self._below_since[gid]
+                self._dips.pop(gid, None)
+        for gid, (voting, members) in sample.items():
+            below = voting < members // 2 + 1
+            if below:
+                self._below_since.setdefault(gid, now)
+            elif gid in self._below_since:
+                del self._below_since[gid]
+                self._dips[gid] = self._dips.get(gid, 0) + 1
+        self._last_sample = sample
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def verdicts(self) -> dict[str, QuorumVerdict]:
+        """Verdict per group present at the final sample."""
+        out: dict[str, QuorumVerdict] = {}
+        for gid in sorted(self._last_sample):
+            first = self._below_since.get(gid)
+            dips = self._dips.get(gid, 0)
+            if first is not None:
+                verdict = "dead"
+            elif dips:
+                verdict = "transient"
+            else:
+                verdict = "healthy"
+            out[gid] = QuorumVerdict(gid, verdict, first, dips)
+        return out
+
+    def dead_groups(self) -> dict[str, float]:
+        """``{gid: first_below_quorum_time}`` for groups dead at stop."""
+        return {
+            gid: v.first_below
+            for gid, v in self.verdicts().items()
+            if v.verdict == "dead"
+        }

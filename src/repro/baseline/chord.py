@@ -20,6 +20,7 @@ from typing import Callable
 from repro.dht.ring import KEY_SPACE, hash_key
 from repro.net.futures import Future, RpcError, RpcTimeout, spawn
 from repro.net.node import Node
+from repro.net.retry import decorrelated_jitter
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.store.kvstore import KvResult
@@ -49,6 +50,17 @@ class ChordConfig:
     successor_list_len: int = 4
     replication: int = 3
     rpc_timeout: float = 0.5
+    # Zave/Leslie hardening.  When True the maintenance protocol follows
+    # "How to Make Chord Correct": failure-atomic pointer updates (a
+    # candidate successor is probed before adoption; the old chain stays
+    # usable until the new pointer is proven live), in-tick successor
+    # failover down the full list, and rectify semantics on notify (a
+    # dead predecessor is replaced, not just cleared) — plus Leslie-style
+    # replica maintenance (immediate re-replication when the successor
+    # list changes) and decorrelated jitter on every maintenance timer.
+    # Off by default: the naive protocol *is* the measured baseline in
+    # E1/E2 and the old-baseline leg of E18.
+    hardened: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -134,6 +146,13 @@ class ChordNode(Node):
         self.store: dict[int, _Stored] = {}
         self._ring_ids: dict[str, int] = {node_id: self.ring_id}
         self._rng = sim.rng(f"chord:{node_id}")
+        # Hardened-mode state: per-timer decorrelated-jitter cursors and
+        # the replica set last pushed to (for change-triggered re-
+        # replication).  Inert in the naive baseline.
+        self._jitter_prev: dict[str, float] = {}
+        self._last_replicas: tuple[str, ...] | None = None
+        self._seed_provider: Callable[[], list[str]] | None = None
+        self._rejoining = False
 
         self.on(ClosestReq, self._on_closest)
         self.on(StabilizeReq, self._on_stabilize)
@@ -189,6 +208,28 @@ class ChordNode(Node):
         # restarted node rejoins stabilization instead of going zombie.
         self.start()
 
+    def _arm(self, name: str, interval: float, fn: Callable[[], None]) -> None:
+        """Re-arm a maintenance timer.
+
+        Naive mode keeps the fixed cadence the baseline was measured
+        with.  Hardened mode draws a decorrelated-jitter delay per timer
+        (bounded to [interval/2, 3*interval/2]) so a cohort of nodes
+        that started in phase — or restarted together after a fault —
+        does not stabilize in lockstep and repeatedly sample each other
+        mid-update.
+        """
+        if self.config.hardened:
+            delay = decorrelated_jitter(
+                self._rng,
+                interval * 0.5,
+                interval * 1.5,
+                self._jitter_prev.get(name),
+            )
+            self._jitter_prev[name] = delay
+            self.set_timer(delay, fn)
+        else:
+            self.set_timer(interval, fn)
+
     def _check_pred_tick(self) -> None:
         """Clear a dead predecessor so stale pointers stop circulating."""
         pred = self.predecessor
@@ -200,17 +241,26 @@ class ChordNode(Node):
                     self.predecessor = None
 
             future.add_callback(on_done)
-        self.set_timer(self.config.stabilize_interval, self._check_pred_tick)
+        self._arm("check_pred", self.config.stabilize_interval, self._check_pred_tick)
 
-    def join(self, seed: str) -> Future:
+    def join(self, seed: str, seed_provider: Callable[[], list[str]] | None = None) -> Future:
         """Join the ring via ``seed``: find our successor and stabilize in."""
-        return spawn(self.sim, self._join_proc(seed))
+        self._seed_provider = seed_provider
+        return spawn(self.sim, self._join_proc(seed, seed_provider))
 
-    def _join_proc(self, seed: str):
+    def _join_proc(self, seed: str, seed_provider: Callable[[], list[str]] | None = None):
         while self.alive:
             try:
                 owner = yield from _lookup(self, seed, self.ring_id)
             except _LookupFailed:
+                # A joiner whose single contact died would otherwise spin
+                # on the corpse forever and never enter the ring.  Zave's
+                # model assumes a bootstrap *set*; hardened mode honours
+                # that by re-drawing a contact after a failed attempt.
+                if self.config.hardened and seed_provider is not None:
+                    alive = [n for n in seed_provider() if n != self.node_id]
+                    if alive:
+                        seed = self.sim.rng(f"join-{self.node_id}").choice(alive)
                 yield _sleep(self.sim, 0.5)
                 continue
             if owner == self.node_id:
@@ -229,35 +279,115 @@ class ChordNode(Node):
         if succ != self.node_id:
             future = self.request(succ, StabilizeReq(), timeout=self.config.rpc_timeout)
             future.add_callback(lambda f: self._after_stabilize(succ, f))
-        self.set_timer(self.config.stabilize_interval, self._stabilize_tick)
+        self._arm("stabilize", self.config.stabilize_interval, self._stabilize_tick)
 
     def _after_stabilize(self, succ: str, future: Future) -> None:
         if not self.alive:
             return
         if future.exception is not None:
             # Successor unresponsive: fail over to the next in the list.
+            if self.config.hardened:
+                self._fail_over(succ)
+                return
             if len(self.successors) > 1:
                 self.successors.pop(0)
             else:
                 self.successors = [self.node_id]
             return
         resp = future.result()
-        # Adopt successor's predecessor if it sits between us.
+        # Successor's predecessor may sit between us: it is our truer
+        # successor.  Zave: adopting it *unverified* breaks the ring when
+        # it is already dead — the naive protocol does exactly that and
+        # then points its whole refreshed chain through the corpse.
         cand = resp.predecessor
         if cand is not None and cand != self.node_id and in_interval(
             self.rid(cand), self.ring_id, self.rid(succ)
         ):
+            if self.config.hardened:
+                self._verify_candidate(cand, succ, resp)
+                return
             self.successors = [cand] + self.successors
-        # Refresh the successor list from the (possibly new) successor.
-        chain = [self.successor] + [
-            s for s in resp.successors if s != self.node_id
-        ]
+        self._absorb_successors(self.successor, resp)
+
+    def _fail_over(self, dead: str) -> None:
+        """Hardened: drop a dead successor and probe the next *now*.
+
+        The naive baseline waits a full stabilize interval per dead list
+        entry, so k consecutive failures take k rounds to route around.
+        Failure-atomic pointer update walks the list within one tick,
+        bounded by the list length.
+        """
+        if self.successors and self.successors[0] == dead:
+            if len(self.successors) > 1:
+                self.successors.pop(0)
+            else:
+                self.successors = [self.node_id]
+                self._recover_successor()
+            self._maybe_rereplicate()
+        succ = self.successor
+        if succ != self.node_id:
+            future = self.request(succ, StabilizeReq(), timeout=self.config.rpc_timeout)
+            future.add_callback(lambda f: self._after_stabilize(succ, f))
+
+    def _recover_successor(self) -> None:
+        """Zave: never run with yourself as sole successor in a ring
+        that has other members.
+
+        A node in that state claims the whole circle in
+        ``_on_closest`` and black-holes every lookup routed to it —
+        "I own everything, I hold nothing".  It happens when the last
+        live entry in a short successor list dies (the canonical case
+        is a fresh joiner whose single contact dies before
+        stabilization widens the list).  Fall back to the predecessor
+        (ring-of-two repair: stabilization walks the pointer to the
+        right place) and, with no predecessor either, re-join through
+        a fresh contact.
+        """
+        if self.predecessor is not None and self.predecessor != self.node_id:
+            self.successors = [self.predecessor]
+            return
+        if self._seed_provider is None or self._rejoining:
+            return
+        alive = [n for n in self._seed_provider() if n != self.node_id]
+        if not alive:
+            return
+        self._rejoining = True
+        seed = self.sim.rng(f"join-{self.node_id}").choice(alive)
+        future = spawn(self.sim, self._join_proc(seed, self._seed_provider))
+        future.add_callback(lambda f: setattr(self, "_rejoining", False))
+
+    def _verify_candidate(self, cand: str, succ: str, resp: StabilizeResp) -> None:
+        """Hardened: probe a candidate successor before adopting it.
+
+        On proof of life we adopt it *with its own fresh successor
+        chain*; if it is dead the old pointer stays in place untouched
+        (failure atomicity: no intermediate state where the ring routes
+        through an unverified node).
+        """
+        future = self.request(cand, StabilizeReq(), timeout=self.config.rpc_timeout)
+
+        def on_done(f: Future) -> None:
+            if not self.alive:
+                return
+            if f.exception is None:
+                self.successors = [cand] + self.successors
+                self._absorb_successors(cand, f.result())
+            else:
+                self._absorb_successors(succ, resp)
+
+        future.add_callback(on_done)
+
+    def _absorb_successors(self, head: str, resp: StabilizeResp) -> None:
+        """Refresh the successor list as ``head`` followed by its chain."""
+        chain = [head] + [s for s in resp.successors if s != self.node_id]
         deduped: list[str] = []
         for name in chain:
             if name not in deduped:
                 deduped.append(name)
         self.successors = deduped[: self.config.successor_list_len]
         self.send(self.successor, NotifyMsg())
+        if self.config.hardened:
+            self._maybe_rereplicate()
 
     def _on_stabilize(self, src: str, msg: StabilizeReq) -> StabilizeResp:
         return StabilizeResp(predecessor=self.predecessor, successors=tuple(self.successors))
@@ -269,6 +399,20 @@ class ChordNode(Node):
             old = self.predecessor
             self.predecessor = src
             self._handoff_keys_to(src, old)
+        elif self.config.hardened and src != self.predecessor:
+            # Zave's rectify: a notify from *behind* our predecessor is
+            # evidence the ring shrank.  Probe the incumbent; if it is
+            # dead, replace it with the notifier instead of waiting for
+            # the periodic check to merely clear it.  Ownership only
+            # grows ((src, self] ⊇ (pred, self]), so no handoff needed.
+            pred = self.predecessor
+            future = self.request(pred, StabilizeReq(), timeout=self.config.rpc_timeout)
+
+            def on_done(f: Future) -> None:
+                if self.alive and f.exception is not None and self.predecessor == pred:
+                    self.predecessor = src
+
+            future.add_callback(on_done)
 
     def _handoff_keys_to(self, new_pred: str, old_pred: str | None) -> None:
         """A new predecessor owns part of our key range: push it over."""
@@ -287,7 +431,7 @@ class ChordNode(Node):
         self._next_finger = (self._next_finger + 1) % KEY_BITS
         target = (self.ring_id + (1 << i)) % KEY_SPACE
         spawn(self.sim, self._fix_finger(i, target))
-        self.set_timer(self.config.fix_fingers_interval, self._fix_fingers_tick)
+        self._arm("fix_fingers", self.config.fix_fingers_interval, self._fix_fingers_tick)
 
     def _fix_finger(self, i: int, target: int):
         try:
@@ -306,7 +450,33 @@ class ChordNode(Node):
             for succ in self.successors[: self.config.replication - 1]:
                 if succ != self.node_id:
                     self.send(succ, ReplicaPush(items=items))
-        self.set_timer(self.config.repair_interval, self._repair_tick)
+        if self.config.hardened:
+            self._last_replicas = tuple(
+                s for s in self.successors[: self.config.replication - 1] if s != self.node_id
+            )
+        self._arm("repair", self.config.repair_interval, self._repair_tick)
+
+    def _maybe_rereplicate(self) -> None:
+        """Leslie-style owner-driven repair: when the successor list
+        changes, push owned keys to the *new* replica-set members right
+        away instead of leaving the replication factor degraded until
+        the next periodic repair tick."""
+        current = tuple(
+            s for s in self.successors[: self.config.replication - 1] if s != self.node_id
+        )
+        if current == self._last_replicas:
+            return
+        previous = self._last_replicas or ()
+        self._last_replicas = current
+        fresh = [s for s in current if s not in previous]
+        if not fresh:
+            return
+        items = tuple(
+            (key, s.value, s.stamp, s.version) for key, s in self.store.items() if self.owns(key)
+        )
+        if items:
+            for succ in fresh:
+                self.send(succ, ReplicaPush(items=items))
 
     # ------------------------------------------------------------------
     # Lookup and storage
@@ -490,7 +660,7 @@ class ChordSystem:
             alive = [n for n in self.alive_node_ids() if n != name]
             seed = self.sim.rng("seeds").choice(alive) if alive else None
         if seed is not None:
-            node.join(seed)
+            node.join(seed, seed_provider=self.alive_node_ids)
         return node
 
     def kill_node(self, node_id: str) -> None:

@@ -16,6 +16,7 @@ from repro.check.invariants import (
     ALL_INVARIANTS,
     CONTINUOUS_INVARIANTS,
     EVENTUAL_INVARIANTS,
+    QUIESCENT_INVARIANTS,
     InvariantViolation,
 )
 from repro.check.monitor import InvariantMonitor
@@ -37,6 +38,7 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "OpEntry",
+    "QUIESCENT_INVARIANTS",
     "ShrinkStats",
     "dump_repro",
     "iteration_seed",

@@ -16,6 +16,15 @@ the duration of a ``with`` block:
   ``acceptor-durability`` invariant catches the renege at recovery
   time.  Only bites on plans with the storage model enabled and at
   least one crash.
+- ``repair-race`` races the repair path against its own serialization:
+  instead of coordinating the pull-in migrate as a 2PC with the donor,
+  the fragile group "just adds" the spare to its own membership with a
+  raw config command.  The donor never releases the node and the spare
+  never receives a welcome or state, so the group's *roster* says it is
+  healed while its *live replication* stays degraded.  The quiescent
+  ``replication-floor`` invariant counts attending replicas, not roster
+  lines, and catches it.  Only bites on plans with a ``node_loss``
+  fault (the only plans where the floor is asserted).
 
 The patch is applied at class level inside the context manager and
 always restored, so production code paths never see it; nothing outside
@@ -27,9 +36,11 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.consensus.commands import Command
 from repro.consensus.replica import PaxosReplica
+from repro.dht.scatter import ScatterNode
 
-DEMO_BUGS = ("quorum-off-by-one", "forgotten-promise")
+DEMO_BUGS = ("quorum-off-by-one", "forgotten-promise", "repair-race")
 
 
 def _buggy_majority(self) -> int:
@@ -40,6 +51,22 @@ def _forgotten_promise(self, ballot) -> bool:
     return True  # "sure, it's on disk" — without touching the WAL
 
 
+def _raced_repair_migrate(self, replica, node, donor):
+    # "Why bother with the 2PC?  The spare is right there."  The roster
+    # gains a member; the donor keeps it too, and nobody ships state.
+    replica.paxos.propose(Command.config("add", node))
+    return "committed"
+    yield  # unreachable — keeps this a generator like the original
+
+
+# name -> (class, attribute, replacement)
+_PATCHES = {
+    "quorum-off-by-one": (PaxosReplica, "_majority", _buggy_majority),
+    "forgotten-promise": (PaxosReplica, "_persist_promise", _forgotten_promise),
+    "repair-race": (ScatterNode, "_repair_migrate_proc", _raced_repair_migrate),
+}
+
+
 @contextmanager
 def demo_bug(name: str | None):
     """Activate the named demo bug for the duration of the block."""
@@ -48,17 +75,10 @@ def demo_bug(name: str | None):
         return
     if name not in DEMO_BUGS:
         raise ValueError(f"unknown demo bug {name!r}; known: {', '.join(DEMO_BUGS)}")
-    if name == "quorum-off-by-one":
-        original = PaxosReplica._majority
-        PaxosReplica._majority = _buggy_majority
-        try:
-            yield
-        finally:
-            PaxosReplica._majority = original
-    else:  # forgotten-promise
-        original = PaxosReplica._persist_promise
-        PaxosReplica._persist_promise = _forgotten_promise
-        try:
-            yield
-        finally:
-            PaxosReplica._persist_promise = original
+    cls, attr, replacement = _PATCHES[name]
+    original = getattr(cls, attr)
+    setattr(cls, attr, replacement)
+    try:
+        yield
+    finally:
+        setattr(cls, attr, original)

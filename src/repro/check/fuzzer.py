@@ -113,7 +113,9 @@ def run_fuzz(config: FuzzConfig) -> FuzzSummary:
                     f"{len(final_plan.ops)} ops in {stats.runs} runs"
                 )
             summary.failure = failure
-            path = Path(config.out_dir) / f"repro-{plan.sim_seed}.json"
+            out_dir = Path(config.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"repro-{plan.sim_seed}.json"
             dump_repro(
                 repro_dict(final_plan, failure, config.bug, shrink=summary.shrink), path
             )

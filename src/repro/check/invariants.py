@@ -27,6 +27,20 @@ The catalog (see docs/TESTING.md for the full write-up):
   state against the ack-time ledger and records any gap in
   ``storage.reneged``) and double-checked live against the ledger.
   Only meaningful on runs with the storage model enabled.
+- ``group-ring-structure`` — every group's successor/predecessor
+  pointers name the groups that actually own the adjacent arcs, so the
+  group ring is connected and ordered.  Pointer updates propagate with
+  the same legal transients as coverage, so this is an eventual
+  invariant too.
+- ``replication-floor`` — once the network is healed and repair has had
+  time to run, no group sits below the policy's repair floor in live,
+  attending members.  Evaluated once at monitor stop (quiescent-only),
+  and only on runs with repair enabled.
+
+:func:`check_chord_ring` is the Chord-side ring-structure check (Zave's
+correctness conditions for successor lists); the fuzzer drives Scatter
+deployments only, so it lives here for tests and experiments rather
+than in a registry.
 
 End-of-run per-key linearizability of the client history is checked by
 the runner (it needs the complete history), not by this registry.
@@ -233,6 +247,155 @@ def check_ring_coverage(system) -> list[str]:
     return []
 
 
+def _most_applied_views(system):
+    """gid -> the most-applied live, non-retired replica (freshest view)."""
+    views: dict[str, tuple[int, object]] = {}
+    for _name, gid, replica in _live_replicas(system):
+        applied = replica.paxos.applied_index
+        current = views.get(gid)
+        if current is None or applied > current[0]:
+            views[gid] = (applied, replica)
+    return {gid: replica for gid, (_, replica) in views.items()}
+
+
+def check_group_ring_structure(system) -> list[str]:
+    """Group successor/predecessor pointers match the committed arcs.
+
+    For each active group the most-applied replica's ``successor`` must
+    name the group owning the arc that starts where ours ends, and
+    ``predecessor`` the group owning the arc ending where ours starts.
+    Gaps and overlaps themselves are ring-coverage's job; this check is
+    about the *pointers* — a connected, ordered, non-overlapping
+    successor structure.  Skipped while a structural 2PC is in flight
+    (same legal transients as coverage).
+    """
+    if _structural_txn_in_flight(system):
+        return []
+    arcs = authoritative_arcs(system)
+    if len(arcs) < 2:
+        return []
+    start_of = {lo: gid for gid, (lo, _hi) in arcs.items()}
+    end_of = {hi: gid for gid, (_lo, hi) in arcs.items()}
+    views = _most_applied_views(system)
+    problems: list[str] = []
+    for gid in sorted(arcs):
+        replica = views.get(gid)
+        if replica is None:
+            continue  # forwarding stand-in; no live replica to inspect yet
+        lo, hi = arcs[gid]
+        expected_succ = start_of.get(hi)
+        if expected_succ is not None and expected_succ != gid:
+            succ = replica.successor
+            if succ is None or succ.gid != expected_succ:
+                problems.append(
+                    f"{gid}: successor pointer "
+                    f"{succ.gid if succ is not None else None} != {expected_succ}"
+                )
+        expected_pred = end_of.get(lo)
+        if expected_pred is not None and expected_pred != gid:
+            pred = replica.predecessor
+            if pred is None or pred.gid != expected_pred:
+                problems.append(
+                    f"{gid}: predecessor pointer "
+                    f"{pred.gid if pred is not None else None} != {expected_pred}"
+                )
+    return problems
+
+
+def check_replication_floor(system, floor: int) -> list[str]:
+    """No group below ``floor`` live, attending members (quiescent-only).
+
+    Attending means the node is alive *and* hosts a live replica of the
+    group — a member that never received its welcome (or lost its disk
+    and state) does not count, so repair bugs that commit membership
+    without delivering state are caught.  Sanctioned skips: a structural
+    2PC still in flight (repair itself may be mid-run); a system whose
+    total attending population is below the floor (no remedy can
+    exist); and groups that have permanently lost quorum — a leaderless
+    group can run no repair by design (consistency forbids it), so dead
+    groups are the liveness watchdog's verdict, not this invariant's.
+    """
+    if _structural_txn_in_flight(system):
+        return []
+    if len(system.alive_node_ids()) < floor:
+        return []
+    attending: dict[str, int] = {}
+    voting: dict[str, int] = {}
+    for _name, gid, replica in _live_replicas(system):
+        attending[gid] = attending.get(gid, 0) + 1
+        # Amnesiac replicas (disk corruption survivors) cannot vote
+        # until a leader catches them up — for election liveness they
+        # might as well be gone.
+        if not replica.paxos.amnesiac:
+            voting[gid] = voting.get(gid, 0) + 1
+    views = _most_applied_views(system)
+    arcs = authoritative_arcs(system)
+    for gid in arcs:
+        replica = views.get(gid)
+        members = len(replica.members) if replica is not None else 0
+        if voting.get(gid, 0) < members // 2 + 1:
+            # A group below quorum is dead for good — no leader, so no
+            # repair, and every merge adjacent to it is blocked (its
+            # prepare can never be acked).  Repair guarantees are off
+            # for the whole ring at that point; the dead group itself
+            # is the liveness watchdog's distinct verdict.
+            return []
+    problems: list[str] = []
+    for gid in sorted(arcs):
+        count = attending.get(gid, 0)
+        if count < floor:
+            problems.append(f"{gid}: {count} attending members < repair floor {floor}")
+    return problems
+
+
+def check_chord_ring(system) -> list[str]:
+    """Zave-style ring-structure conditions for a ChordSystem.
+
+    Each live node's successor list must be duplicate-free, exclude the
+    node itself (in a multi-node ring), and be ordered by ring distance;
+    and following first-live-successor pointers from any node must tour
+    every live node exactly once.  Used by tests and E18 — the fuzzer's
+    registries drive Scatter deployments.
+    """
+    from repro.dht.ring import hash_key
+
+    alive = sorted(system.alive_node_ids())
+    problems: list[str] = []
+    for name in alive:
+        node = system.nodes[name]
+        succs = list(node.successors)
+        if not succs:
+            problems.append(f"{name}: empty successor list")
+            continue
+        if len(set(succs)) != len(succs):
+            problems.append(f"{name}: duplicate successor entries {succs}")
+        if len(alive) > 1 and name in succs:
+            problems.append(f"{name}: lists itself as a successor")
+        dists = [(hash_key(s) - hash_key(name)) % KEY_SPACE for s in succs]
+        if dists != sorted(dists):
+            problems.append(f"{name}: successor list out of ring order {succs}")
+    if len(alive) > 1:
+        alive_set = set(alive)
+        visited = []
+        current = alive[0]
+        for _ in range(len(alive)):
+            visited.append(current)
+            node = system.nodes[current]
+            nxt = next((s for s in node.successors if s in alive_set), None)
+            if nxt is None:
+                problems.append(f"{current}: no live successor")
+                break
+            current = nxt
+        else:
+            if current != alive[0] or len(set(visited)) != len(alive):
+                missed = sorted(alive_set - set(visited))
+                problems.append(
+                    f"ring tour from {alive[0]} does not cover the ring "
+                    f"(missed {missed}, ended at {current})"
+                )
+    return problems
+
+
 def check_acceptor_durability(system) -> list[str]:
     """No replica reneges on a promise/accept it acked before a crash.
 
@@ -310,6 +473,15 @@ CONTINUOUS_INVARIANTS: dict[str, object] = {
 # Invariants with legal transients; violated only if persistent.
 EVENTUAL_INVARIANTS: dict[str, object] = {
     "ring-coverage": check_ring_coverage,
+    "group-ring-structure": check_group_ring_structure,
+}
+
+# Invariants meaningful only once the run is quiescent (network healed,
+# repair given time); evaluated once by InvariantMonitor.stop() on runs
+# with repair enabled.  Checkers take (system, floor) — kept out of
+# ALL_INVARIANTS, whose callers pass the system alone.
+QUIESCENT_INVARIANTS: dict[str, object] = {
+    "replication-floor": check_replication_floor,
 }
 
 ALL_INVARIANTS: dict[str, object] = {**CONTINUOUS_INVARIANTS, **EVENTUAL_INVARIANTS}

@@ -17,6 +17,7 @@ from repro.check.invariants import (
     CONTINUOUS_INVARIANTS,
     EVENTUAL_INVARIANTS,
     InvariantViolation,
+    check_replication_floor,
 )
 from repro.sim.loop import Simulator
 
@@ -30,11 +31,15 @@ class InvariantMonitor:
         system,
         interval: float = 0.25,
         persist: int = 5,
+        repair_floor: int | None = None,
     ) -> None:
         self.sim = sim
         self.system = system
         self.interval = interval
         self.persist = persist
+        # When set, stop() evaluates the quiescent replication-floor
+        # invariant once against this floor (runs with repair enabled).
+        self.repair_floor = repair_floor
         self.violations: list[InvariantViolation] = []
         self.samples = 0
         self._streaks: dict[str, int] = {name: 0 for name in EVENTUAL_INVARIANTS}
@@ -47,6 +52,10 @@ class InvariantMonitor:
 
     def stop(self) -> None:
         self._running = False
+        if self.repair_floor is not None:
+            problems = check_replication_floor(self.system, self.repair_floor)
+            if problems:
+                self._record("replication-floor", problems)
 
     @property
     def ok(self) -> bool:

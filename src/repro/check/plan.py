@@ -36,12 +36,23 @@ FAULT_KINDS = (
     "disk_slow",
     "disk_corrupt",
     "disk_loss",
+    "node_loss",
 )
 
 # At most this many amnesia-inducing faults (disk_corrupt / disk_loss)
 # per plan: each one turns a voter into a learner for a while, and two
 # in one small group can legitimately stall it for the whole window.
 MAX_AMNESIA_FAULTS = 1
+
+# At most this many permanent node losses per plan: losing two voters of
+# a three-member group kills its quorum for good, which is a legitimate
+# outcome but not one repair can be expected to fix.
+MAX_NODE_LOSS_FAULTS = 1
+
+# Extra post-schedule drain for plans that contain a node_loss entry:
+# repair needs quiescent time to detect the loss and run a migrate or
+# merge before the replication-floor invariant is evaluated.
+NODE_LOSS_EXTRA_DRAIN = 6.0
 
 
 @dataclass(frozen=True)
@@ -94,6 +105,11 @@ class FuzzPlan:
     # recovery).  Sampled plans enable it; old repro files without the
     # field deserialize to False and replay exactly as recorded.
     storage: bool = False
+    # Run with the self-healing repair policy enabled (leaders detect
+    # permanently lost members and migrate/merge to restore replication).
+    # Sampled plans enable it; old repro files deserialize to False and
+    # replay exactly as recorded.
+    repair: bool = False
 
     @property
     def n_nodes(self) -> int:
@@ -119,7 +135,7 @@ def _sample_fault(rng: random.Random, node_names: list[str], duration: float) ->
     time = _r(rng.uniform(0.3, max(0.4, duration - 1.0)))
     kind = rng.choices(
         FAULT_KINDS,
-        weights=(24, 16, 10, 10, 7, 7, 12, 5, 5, 2, 2),
+        weights=(24, 16, 10, 10, 7, 7, 12, 5, 5, 2, 2, 4),
     )[0]
     if kind == "crash":
         return FaultEntry(
@@ -185,6 +201,15 @@ def _sample_fault(rng: random.Random, node_names: list[str], duration: float) ->
             _r(rng.uniform(0.5, 2.0)),
             {"node": rng.choice(node_names)},
         )
+    if kind == "node_loss":
+        # Permanent: fire early so repair has the rest of the window plus
+        # the drain to detect the loss and restore replication.
+        return FaultEntry(
+            _r(rng.uniform(0.3, 3.0)),
+            kind,
+            0.0,
+            {"node": rng.choice(node_names)},
+        )
     # group_op: force a split or merge on whichever group is at `index`
     # (mod the live group count) when the entry fires.
     return FaultEntry(
@@ -210,8 +235,10 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
     sampled = [_sample_fault(rng, node_names, duration) for _ in range(n_faults)]
     # Cap amnesia-inducing faults: demote extras to plain crashes so the
     # plan keeps an entry (and its timing) without wiping a second voter.
+    # node_loss is capped the same way: extras become transient crashes.
     amnesia_kinds = ("disk_corrupt", "disk_loss")
     seen_amnesia = 0
+    seen_loss = 0
     capped = []
     for entry in sampled:
         if entry.kind in amnesia_kinds:
@@ -220,8 +247,15 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
                 entry = FaultEntry(
                     entry.time, "crash", entry.duration, {"node": entry.params["node"]}
                 )
+        elif entry.kind == "node_loss":
+            seen_loss += 1
+            if seen_loss > MAX_NODE_LOSS_FAULTS:
+                entry = FaultEntry(
+                    entry.time, "crash", 1.5, {"node": entry.params["node"]}
+                )
         capped.append(entry)
     schedule = sorted(capped, key=lambda e: (e.time, e.kind))
+    has_loss = any(e.kind == "node_loss" for e in schedule)
 
     key_space = rng.choice([8, 16, 32])
     read_fraction = rng.uniform(0.35, 0.65)
@@ -251,10 +285,11 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
         n_clients=n_clients,
         warmup=3.0,
         duration=duration,
-        drain=6.0,
+        drain=6.0 + (NODE_LOSS_EXTRA_DRAIN if has_loss else 0.0),
         schedule=tuple(schedule),
         ops=tuple(ops),
         storage=True,
+        repair=True,
     )
 
 
@@ -278,6 +313,7 @@ def plan_to_dict(plan: FuzzPlan) -> dict[str, Any]:
         ],
         "ops": [[o.op_id, o.client, o.kind, o.key, o.think] for o in plan.ops],
         "storage": plan.storage,
+        "repair": plan.repair,
     }
 
 
@@ -300,4 +336,5 @@ def plan_from_dict(data: dict[str, Any]) -> FuzzPlan:
         schedule=schedule,
         ops=ops,
         storage=data.get("storage", False),
+        repair=data.get("repair", False),
     )

@@ -84,7 +84,10 @@ def run_plan(plan: FuzzPlan, bug: str | None = None) -> FuzzOutcome:
         net = SimNetwork(sim, latency=LogNormalLatency(0.004, 0.4))
         size = plan.group_size
         policy = ScatterPolicy(
-            target_size=size, split_size=2 * size + 1, merge_size=max(1, size - 2)
+            target_size=size,
+            split_size=2 * size + 1,
+            merge_size=max(1, size - 2),
+            repair=plan.repair,
         )
         system = ScatterSystem.build(
             sim,
@@ -101,7 +104,12 @@ def run_plan(plan: FuzzPlan, bug: str | None = None) -> FuzzOutcome:
             for i in range(plan.n_clients)
         ]
         target = FaultTarget.for_system(system)
-        monitor = InvariantMonitor(sim, system)
+        has_loss = any(e.kind == "node_loss" for e in plan.schedule)
+        monitor = InvariantMonitor(
+            sim,
+            system,
+            repair_floor=size if (plan.repair and has_loss) else None,
+        )
         workload = ScriptedWorkload(sim, clients, plan.ops)
         schedule = ScheduleRunner(sim, system, target, plan.schedule)
 

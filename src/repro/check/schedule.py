@@ -181,6 +181,12 @@ class ScheduleRunner:
             self.target.lose_disk(node)
             self.sim.schedule_fire(entry.duration, self.target.restart, node)
 
+    def _apply_node_loss(self, entry: FaultEntry) -> None:
+        """Permanent failure: no heal event is scheduled, and stop()'s
+        restart sweep skips lost nodes (FaultTarget refuses to revive
+        them), so the loss outlives the fault window by design."""
+        self.target.node_loss(entry.params["node"])
+
     def _apply_group_op(self, entry: FaultEntry) -> None:
         gids = sorted(self.system.active_groups())
         if not gids:

@@ -102,9 +102,16 @@ def _cmd_nemesis(args: argparse.Namespace) -> int:
     print(f"p50 latency:   {1000 * metrics['latency_p50']:.1f} ms")
     print(f"violations:    {metrics['violations']}")
     print(f"stalls:        {metrics['stalls']}  (max {metrics['max_stall_s']:.2f} s)")
+    if "dead_groups" in metrics:
+        dead = metrics["dead_groups"]
+        if dead:
+            print(f"dead groups:   {dead}  (first below quorum at +{metrics['first_death_s']:.2f} s)")
+        else:
+            print("dead groups:   0")
     recovered = "yes" if metrics["recovered"] else "NO (capped)"
     print(f"recovery:      {metrics['recovery_s']:.2f} s after heal  recovered: {recovered}")
-    return 0 if metrics["recovered"] and metrics["violations"] == 0 else 1
+    dead_ok = metrics.get("dead_groups", 0) == 0
+    return 0 if metrics["recovered"] and metrics["violations"] == 0 and dead_ok else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:

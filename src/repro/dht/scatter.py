@@ -69,6 +69,11 @@ class ScatterConfig:
     # around for its group's fate; a "moved" answer retires it locally
     # (the group completed a split/merge while this node was cut off).
     orphan_timeout: float = 10.0
+    # Suspicion horizon for *repair* (policy.repair): a member unreachable
+    # this long is treated as permanently lost when computing the group's
+    # live replication level.  Longer than dead_timeout so transient
+    # crashes are removed-and-rejoined without triggering a repair.
+    repair_suspicion: float = 6.0
     join_retry: float = 1.0
     routing_cache_size: int = 64
     # CPU service time a node spends per client operation (seconds).
@@ -138,6 +143,9 @@ class ScatterNode(Node):
         self.coordinating: set[str] = set()
         self._retired_at: dict[str, float] = {}
         self._last_txn_attempt: dict[str, float] = {}
+        # gid -> sim time the group's live membership first fell below
+        # the repair floor (only populated when policy.repair is on).
+        self._below_floor_since: dict[str, float] = {}
         self._gid_counter = 0
         self._rng = sim.rng(f"scatter:{node_id}")
         self.stats_txns: dict[str, int] = {}
@@ -345,7 +353,7 @@ class ScatterNode(Node):
 
     def _redirect_candidates(self, key: int) -> list[GroupInfo]:
         """Known groups ordered by how close their start precedes ``key``."""
-        infos = self.known_groups()
+        infos = self._routing_groups()
         containing = [g for g in infos if g.range.contains(key)]
         if containing:
             return containing
@@ -355,7 +363,7 @@ class ScatterNode(Node):
     # Message handlers: join / leave
     # ------------------------------------------------------------------
     def _on_join_lookup(self, src: str, msg: JoinLookupReq) -> JoinLookupResp:
-        target = self.policy.choose_join_target(self.known_groups(), self._rng)
+        target = self.policy.choose_join_target(self._routing_groups(), self._rng)
         return JoinLookupResp(target=target)
 
     def _on_group_join(self, src: str, msg: GroupJoinReq) -> Any:
@@ -519,7 +527,7 @@ class ScatterNode(Node):
     # Gossip (finger maintenance)
     # ------------------------------------------------------------------
     def _on_gossip(self, src: str, msg: GossipReq) -> GossipResp:
-        infos = self.known_groups()
+        infos = self._routing_groups()
         self._rng.shuffle(infos)
         return GossipResp(infos=tuple(infos[:8]))
 
@@ -554,6 +562,18 @@ class ScatterNode(Node):
 
     def _maintain_group(self, replica: GroupReplica) -> None:
         gid = replica.gid
+        if replica.status is not GroupStatus.RETIRED and gid in self.forwarding:
+            # Zombie: this node recorded the group's retirement (the
+            # forwarding entry was written when the split/merge commit
+            # applied) but the replica resurrected from a pre-retirement
+            # disk image after a crash.  Without this check an all-
+            # zombie group can answer clients for a range the ring has
+            # reassigned — its own members are the only peers orphan
+            # resolution would ask, and they are zombies too.
+            replica.status = GroupStatus.RETIRED
+            replica.forwarding = self.forwarding[gid]
+            self._retired_at.setdefault(gid, self.sim.now)
+            return
         if replica.status is GroupStatus.RETIRED:
             if self.sim.now - self._retired_at.get(gid, self.sim.now) > self.config.retired_linger:
                 replica.paxos.retire()
@@ -574,6 +594,8 @@ class ScatterNode(Node):
         if self.sim.now - self._last_txn_attempt.get(gid, -1e9) < self.config.txn_cooldown:
             return
         if gid in self.coordinating:
+            return
+        if self._maybe_repair(replica):
             return
         if self.policy.wants_split(replica) and len(replica.members) >= 2:
             self._last_txn_attempt[gid] = self.sim.now
@@ -630,6 +652,87 @@ class ScatterNode(Node):
             return False
         replica.paxos.propose(Command.config("remove", suspected[0]))
         return True
+
+    def _maybe_repair(self, replica: GroupReplica) -> bool:
+        """Self-healing: restore a group's live replication to the floor.
+
+        The leader counts members unreachable past the repair-suspicion
+        horizon as lost.  When the survivors fall below the policy's
+        repair floor it pulls a spare node in from the healthiest donor
+        group (a migrate *coordinated by the fragile group*, so the
+        repair serializes through this group's Paxos log and cannot race
+        its own splits/merges); with no donor anywhere, it merges with
+        its successor instead.  Returns True when a repair was launched
+        this tick.  A no-op unless ``policy.repair`` — the disabled path
+        touches no state, draws no randomness, sends nothing.
+        """
+        if not self.policy.repair:
+            return False
+        gid = replica.gid
+        floor = self.policy.effective_repair_floor()
+        suspected = set(replica.paxos.suspected_members(self.config.repair_suspicion))
+        healthy = [m for m in replica.members if m not in suspected]
+        tracer = self.sim.tracer
+        if len(healthy) >= floor:
+            since = self._below_floor_since.pop(gid, None)
+            if since is not None and tracer is not None:
+                tracer.metrics.observe("repair.restore_seconds", self.sim.now - since)
+            return False
+        if gid not in self._below_floor_since:
+            self._below_floor_since[gid] = self.sim.now
+            if tracer is not None:
+                tracer.metrics.inc("repair.below_floor")
+        donation = self.policy.choose_repair_donor(replica, self._freshest_groups())
+        if donation is not None:
+            node, donor = donation
+            self._last_txn_attempt[gid] = self.sim.now
+            if tracer is not None:
+                tracer.metrics.inc("repair.triggered")
+                tracer.metrics.inc("repair.migrate")
+            self.start_repair_migrate(replica, node, donor)
+            return True
+        succ = replica.successor
+        if succ is not None and succ.gid != gid:
+            self._last_txn_attempt[gid] = self.sim.now
+            if tracer is not None:
+                tracer.metrics.inc("repair.triggered")
+                tracer.metrics.inc("repair.merge")
+            self.start_merge(replica)
+            return True
+        return False
+
+    def _freshest_groups(self) -> list[GroupInfo]:
+        """``known_groups`` but preferring newer-epoch cache entries.
+
+        Routing usually tolerates stale neighbor pointers (a wrong hop
+        just forwards), so ``known_groups`` lets them shadow the cache.
+        The repair donor chooser cannot: a stale pointer that overstates
+        a donor's membership would be re-picked every tick.
+        """
+        infos = {info.gid: info for info in self.known_groups()}
+        for gid, info in self.cache.items():
+            cur = infos.get(gid)
+            if cur is not None and gid not in self.groups and info.epoch > cur.epoch:
+                infos[gid] = info
+        return list(infos.values())
+
+    def _routing_groups(self) -> list[GroupInfo]:
+        """The group view served to clients, joiners, and gossip peers.
+
+        Repair-enabled deployments can turn over a group's *entire*
+        membership (every original member permanently lost, every seat
+        refilled by pull-in migrates).  A stale neighbor pointer then
+        names only dead nodes, and because ``known_groups`` lets it
+        shadow the fresher gossip cache, the stale view re-propagates
+        forever: a healthy group becomes unroutable even though all its
+        replicas hold the data.  Repair deployments therefore serve the
+        epoch-freshest view.  Without repair a pointer can never outlive
+        the whole membership, so the classic view is kept byte-for-byte
+        (the zero-perturbation guarantee for the baseline experiments).
+        """
+        if self.policy.repair:
+            return self._freshest_groups()
+        return self.known_groups()
 
     def _maybe_transfer_leadership(self, replica: GroupReplica) -> None:
         expected = lambda a, b: self.net.latency.expected(a, b)
@@ -688,7 +791,16 @@ class ScatterNode(Node):
         if key == replica.range.lo or not replica.range.contains(key):
             return _failed_future(ValueError(f"bad split key {key}"))
         members = replica.members
-        left_members, right_members = self.policy.partition_members(members, self._rng)
+        partitionable = members
+        if self.policy.repair:
+            # Don't deal a suspected-lost member into a child group: a
+            # two-member child whose other half is gone can never elect
+            # a leader again, and no repair can reach a leaderless group.
+            lost = set(replica.paxos.suspected_members(self.config.repair_suspicion))
+            live = [m for m in members if m not in lost]
+            if len(live) >= 2:
+                partitionable = live
+        left_members, right_members = self.policy.partition_members(partitionable, self._rng)
         if not left_members or not right_members:
             return _failed_future(ValueError("not enough members to split"))
         left_range, right_range = replica.range.split_at(key)
@@ -781,6 +893,65 @@ class ScatterNode(Node):
         )
         self._count_txn("migrate")
         return run_group_operation(self, replica, spec, {to.gid: to})
+
+    def start_repair_migrate(self, replica: GroupReplica, node: str, donor: GroupInfo) -> Future:
+        """Pull ``node`` in *from* ``donor`` to reinforce this group.
+
+        The mirror image of :meth:`start_migrate`: the fragile group is
+        the destination *and* the coordinator, so the repair occupies a
+        slot in its own Paxos log and the usual prepare validation
+        (busy/frozen/stale refusals) serializes it against any
+        concurrent split, merge, or competing repair.
+        """
+        return spawn(self.sim, self._repair_migrate_proc(replica, node, donor))
+
+    def _repair_migrate_proc(self, replica: GroupReplica, node: str, donor: GroupInfo):
+        from repro.txn.coordinator import run_group_operation
+
+        # The cached GroupInfo that nominated the spare may predate a
+        # split or migrate in the donor; a spec naming a non-member is
+        # refused by every donor replica, forever.  Refresh membership
+        # from the donor's leader first and re-pick the spare.
+        try:
+            resp = yield from group_request(
+                self,
+                donor,
+                lambda: GroupNeighborsReq(gid=donor.gid),
+                timeout=self.config.txn_rpc_timeout,
+            )
+        except GroupUnreachable as exc:
+            raise ValueError(f"donor unreachable: {exc}") from exc
+        if resp.status != "ok" or resp.info is None:
+            raise ValueError(f"donor not usable: {resp.status}")
+        fresh = resp.info
+        self.learn(fresh)
+        floor = self.policy.effective_repair_floor()
+        spares = sorted(set(fresh.members) - set(replica.members))
+        if len(fresh.members) <= floor or not spares:
+            # The cached view overstated the donor.  Fall back to the
+            # merge path in this same attempt rather than waiting a
+            # cooldown to re-discover the exhaustion.
+            succ = replica.successor
+            if succ is not None and succ.gid != replica.gid:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.metrics.inc("repair.merge")
+                result = yield self.start_merge(replica)
+                return result
+            raise ValueError("donor has no spare to give")
+        if node not in spares:
+            node = spares[0]
+        spec = MigrateSpec(
+            txn_id=new_txn_id(self.node_id),
+            coordinator_gid=replica.gid,
+            coordinator_members=tuple(replica.members),
+            node=node,
+            from_gid=fresh.gid,
+            to_gid=replica.gid,
+        )
+        self._count_txn("repair_migrate")
+        result = yield run_group_operation(self, replica, spec, {fresh.gid: fresh})
+        return result
 
     def start_repartition(self, replica: GroupReplica, new_boundary: int) -> Future:
         """Move this group's boundary with its successor to ``new_boundary``."""

@@ -146,6 +146,56 @@ class CrashRestartStorm(Nemesis):
         self._down.clear()
 
 
+class NodeLossStorm(Nemesis):
+    """Permanent node losses on a schedule — victims never come back.
+
+    Unlike :class:`CrashRestartStorm`, ``_heal`` is deliberately a no-op:
+    a lost node's disk is gone and the restart sweep skips it.  Healing
+    is the *system's* job — Scatter's resilience-driven repair pulls
+    spares in or merges fragile groups; a hardened Chord re-replicates —
+    and that response is exactly what this nemesis exists to exercise.
+    ``max_losses`` bounds the total carnage and ``min_alive`` keeps the
+    deployment large enough that a remedy can exist at all.  ``burst``
+    kills several distinct victims in the same instant — a correlated
+    failure (rack power, AZ outage) that gives re-replication no time
+    to react between the individual deaths.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FaultTarget,
+        name: str = "node-loss-storm",
+        interval: float = 4.0,
+        max_losses: int = 2,
+        min_alive: int = 5,
+        burst: int = 1,
+    ) -> None:
+        super().__init__(sim, target, name)
+        self.interval = interval
+        self.max_losses = max_losses
+        self.min_alive = min_alive
+        self.burst = burst
+        self._losses = 0
+
+    def _kickoff(self) -> None:
+        self._while_running(self.rng.uniform(0, self.interval), self._tick)
+
+    def _tick(self) -> None:
+        for _ in range(self.burst):
+            alive = self.target.alive_ids()
+            if self._losses >= self.max_losses or len(alive) <= self.min_alive:
+                break
+            victim = self.rng.choice(alive)
+            if self.target.node_loss(victim):
+                self._losses += 1
+                self._record("node_loss", victim)
+        self._while_running(self._jittered(self.interval), self._tick)
+
+    def _heal(self) -> None:
+        """Nothing to undo: permanent means permanent."""
+
+
 class RollingPartition(Nemesis):
     """Symmetric partitions that move around the system.
 

@@ -22,6 +22,7 @@ from repro.faults.nemesis import (
     GraySlowdown,
     Nemesis,
     NemesisSuite,
+    NodeLossStorm,
     RollingPartition,
 )
 from repro.faults.target import FaultTarget
@@ -35,6 +36,7 @@ NEMESIS_KINDS: dict[str, type[Nemesis]] = {
     "gray_slowdown": GraySlowdown,
     "duplicator": Duplicator,
     "disk_faults": DiskFaults,
+    "node_loss_storm": NodeLossStorm,
 }
 
 
@@ -64,6 +66,11 @@ class Scenario:
     description: str
     nemeses: tuple[NemesisSpec, ...]
     needs_storage: bool = False
+    # Scenarios built around permanent node loss are only a fair fight
+    # when the system's self-healing is on: deployment builders enable
+    # the Scatter repair policy (and the hardened Chord baseline) for
+    # them.
+    needs_repair: bool = False
 
 
 def build_scenario(
@@ -184,6 +191,20 @@ _register(Scenario(
                      "slow_factor": (10.0, 100.0), "downtime": (0.5, 2.0)}),
     ),
     needs_storage=True,
+))
+
+_register(Scenario(
+    name="node_loss_storm",
+    description="Permanent failures: nodes die for good (disk and all), "
+                "never restarting.  The system's own repair must restore "
+                "replication before the next loss lands.",
+    nemeses=(
+        NemesisSpec("node_loss_storm",
+                    {"interval": 6.0, "max_losses": 2, "min_alive": 6}),
+        NemesisSpec("crash_storm",
+                    {"interval": 5.0, "downtime": (1.0, 3.0), "max_down": 1}),
+    ),
+    needs_repair=True,
 ))
 
 _register(Scenario(

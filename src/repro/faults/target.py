@@ -27,6 +27,7 @@ class FaultTarget:
     def __init__(self, net: SimNetwork, nodes: Mapping[str, Node]) -> None:
         self.net = net
         self.nodes = nodes
+        self._lost: set[str] = set()
 
     @staticmethod
     def for_system(system) -> "FaultTarget":
@@ -62,12 +63,33 @@ class FaultTarget:
         return True
 
     def restart(self, node_id: str) -> bool:
-        """Recover a crashed node.  Returns True if it was down."""
+        """Recover a crashed node.  Returns True if it was down.
+
+        Permanently lost nodes (see :meth:`node_loss`) never restart:
+        heal-all sweeps and nemesis restore paths skip them.
+        """
         node = self.nodes.get(node_id)
-        if node is None or node.alive:
+        if node is None or node.alive or node_id in self._lost:
             return False
         node.restart()
         return True
+
+    def node_loss(self, node_id: str) -> bool:
+        """Permanent failure: crash, wipe the disk, drop from the restart
+        schedule.  Returns True if the node was up."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive or node_id in self._lost:
+            return False
+        node.crash()
+        disk = getattr(node, "disk", None)
+        if disk is not None:
+            disk.wipe()
+        self._lost.add(node_id)
+        return True
+
+    def lost_ids(self) -> list[str]:
+        """Nodes permanently removed via :meth:`node_loss`."""
+        return sorted(self._lost)
 
     # ------------------------------------------------------------------
     # Disk faults (no-ops on deployments without the storage model)

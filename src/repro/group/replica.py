@@ -375,15 +375,20 @@ class GroupReplica:
         return self.predecessor is not None and self.predecessor.gid == gid
 
     def _validate_merge(self, spec: MergeSpec) -> str | None:
+        # A two-group ring merges into the full ring, which KeyRange
+        # canonicalizes to (0, 0) regardless of where the boundary sat;
+        # adjacency (checked below) already pins the structure, so the
+        # endpoint equality checks only apply to partial-ring merges.
+        full = spec.merged.range.is_full
         if self.gid == spec.left_gid:
             if self.successor is None or self.successor.gid != spec.right_gid:
                 return "not_adjacent"
-            if spec.merged.range.lo != self.range.lo:
+            if not full and spec.merged.range.lo != self.range.lo:
                 return "range_mismatch"
         elif self.gid == spec.right_gid:
             if not self._pred_matches(spec.left_gid):
                 return "not_adjacent"
-            if spec.merged.range.hi != self.range.hi:
+            if not full and spec.merged.range.hi != self.range.hi:
                 return "range_mismatch"
         return None
 

@@ -1,4 +1,4 @@
-"""Experiment entry points E1–E17 (see DESIGN.md for the index).
+"""Experiment entry points E1–E18 (see DESIGN.md for the index).
 
 Every function returns an :class:`ExperimentResult` whose rows are the
 series the corresponding figure/table in the paper plots.  ``quick=True``
@@ -13,8 +13,9 @@ import math
 import random
 import time
 
-from repro.analysis.liveness import LivenessWatchdog
+from repro.analysis.liveness import GroupQuorumWatch, LivenessWatchdog
 from repro.analysis.stats import mean, percentile
+from repro.baseline.chord import ChordConfig
 from repro.consensus.replica import PaxosConfig
 from repro.dht.client import ClientConfig
 from repro.faults import FaultTarget, build_scenario, get_scenario
@@ -100,13 +101,18 @@ def _nemesis_run(
         # Disk-fault scenarios need disks to act on; every other scenario
         # runs storage-off so E16 stays on the zero-perturbation path.
         config = None
-        if get_scenario(scenario).needs_storage:
+        spec = get_scenario(scenario)
+        if spec.needs_storage:
             config = experiment_scatter_config(storage=StorageConfig())
+        policy_kwargs = dict(CHURN_POLICY_KWARGS)
+        if spec.needs_repair:
+            policy_kwargs["repair"] = True
         deployment = build_scatter_deployment(
-            params, policy=ScatterPolicy(**CHURN_POLICY_KWARGS), config=config
+            params, policy=ScatterPolicy(**policy_kwargs), config=config
         )
     else:
-        deployment = build_chord_deployment(params)
+        chord_config = ChordConfig(hardened=True) if get_scenario(scenario).needs_repair else None
+        deployment = build_chord_deployment(params, config=chord_config)
     sim, system, clients = deployment.sim, deployment.system, deployment.clients
     workload = ClosedLoopWorkload(
         sim, clients, UniformKeys(n_keys), read_fraction=read_fraction, think_time=0.05
@@ -119,8 +125,18 @@ def _nemesis_run(
 
     suite = build_scenario(scenario, sim, FaultTarget.for_system(system))
     watchdog = LivenessWatchdog(sim, completed_ops, window=watchdog_window)
+    # Permanent-loss scenarios also get a per-group quorum watch so the
+    # run can distinguish dead groups (permanently below quorum, with a
+    # first-below timestamp) from transient dips.  Gated on needs_repair
+    # so legacy scenarios (E16's rows) keep a byte-identical event
+    # stream.
+    quorum_watch = None
+    if backend == "scatter" and get_scenario(scenario).needs_repair:
+        quorum_watch = GroupQuorumWatch(sim, _group_quorum_probe(system))
     start = sim.now
     watchdog.start()
+    if quorum_watch is not None:
+        quorum_watch.start()
     suite.start()
     sim.run_for(duration)
     suite.stop()  # halts the schedule and heals all active faults
@@ -142,7 +158,39 @@ def _nemesis_run(
     metrics["max_stall_s"] = watchdog.max_stall
     metrics["recovery_s"] = recovery
     metrics["recovered"] = completed_ops() > before_recovery
+    if quorum_watch is not None:
+        quorum_watch.stop()
+        dead = quorum_watch.dead_groups()
+        metrics["dead_groups"] = len(dead)
+        metrics["first_death_s"] = min(dead.values()) - start if dead else None
     return metrics
+
+
+def _group_quorum_probe(system):
+    """Probe for :class:`GroupQuorumWatch`: ``{gid: (voting, members)}``.
+
+    Voting counts live, attending, non-amnesiac replicas (an amnesiac
+    disk-wipe survivor attends but cannot vote); membership size is the
+    largest roster any attending replica reports for the group.
+    """
+    from repro.group.replica import GroupStatus
+
+    def probe() -> dict[str, tuple[int, int]]:
+        counts: dict[str, tuple[int, int]] = {}
+        for name in sorted(system.nodes):
+            node = system.nodes[name]
+            if not node.alive:
+                continue
+            for gid, replica in node.groups.items():
+                if replica.paxos.retired or replica.status is GroupStatus.RETIRED:
+                    continue
+                voting, members = counts.get(gid, (0, 0))
+                if not replica.paxos.amnesiac:
+                    voting += 1
+                counts[gid] = (voting, max(members, len(replica.paxos.members)))
+        return counts
+
+    return probe
 
 
 def _lifetimes(quick: bool) -> list[float]:
@@ -1085,6 +1133,176 @@ def run_e17(quick: bool = True, seed: int = 17) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# E18: data survival under permanent node loss (self-healing vs baselines)
+# ---------------------------------------------------------------------------
+def _settle_future(sim: Simulator, future, cap: float = 12.0):
+    """Run the sim until ``future`` resolves (or ``cap`` sim-seconds pass)."""
+    deadline = sim.now + cap
+    while not future.done and sim.now < deadline:
+        sim.run_for(0.25)
+    if not future.done or future.exception is not None:
+        return None
+    return future.result()
+
+
+def run_e18(quick: bool = True, seed: int = 20) -> ExperimentResult:
+    """Data survival when nodes leave *permanently* and never come back.
+
+    The transient-churn experiments (E2–E4) restart departed nodes;
+    here every loss is a crashed machine with a wiped disk, so the only
+    thing standing between a key and oblivion is active
+    re-replication.  A fresh node joins at the same rate nodes die —
+    permanent churn with stable capacity, the regime an operator
+    actually runs — so losing data means losing the *re-replication
+    race*, not merely running out of machines.  Three variants face
+    the same schedule: Scatter with the resilience policy's repair
+    loop (pull-in migrates / merges through the Paxos log), the Chord
+    baseline hardened per Zave's rectify/failover rules with
+    Leslie-style replica maintenance, and the naive Chord baseline.
+    Every key is written with a known value before the storm; after
+    the losses stop and the survivors settle, each key is read back —
+    a read that does not return the pre-storm value counts the key as
+    lost.  Each row aggregates several seeds so one lucky (or cursed)
+    victim sequence cannot carry the verdict.
+    """
+    result = ExperimentResult(
+        experiment="E18",
+        title="E18: data survival under permanent node loss (self-healing vs baselines)",
+        columns=[
+            "backend", "loss_interval_s", "seeds", "losses", "joins", "ops",
+            "availability", "keys_lost", "keys_total", "dead_groups",
+        ],
+        notes=(
+            "every loss is permanent (crash + disk wipe, no restart) and a "
+            "fresh node joins at the same rate; keys_lost = keys whose "
+            "post-storm read missed the pre-storm value, summed over the "
+            "seeds in the row; dead_groups = scatter groups permanently "
+            "below quorum (GroupQuorumWatch verdict; '-' for chord, which "
+            "has no groups)"
+        ),
+    )
+    from repro.faults.nemesis import NodeLossStorm
+
+    duration = 40.0
+    intervals = (3.0,) if quick else (4.0, 3.0, 2.0)
+    n_seeds = 3 if quick else 5
+    n_keys = 40
+    keyspace = UniformKeys(n_keys)
+    # The survival set lives under its own prefix so the availability
+    # workload (which also writes) can never refresh or overwrite it —
+    # a surviving key survived replication, not luck.
+    survival = UniformKeys(n_keys, prefix="surv")
+    for backend in ("scatter+repair", "chord+zave", "chord"):
+        for interval in intervals:
+            losses = joins = ops = ok_ops = lost = 0
+            dead_groups: int | str = 0
+            for trial_seed in range(seed, seed + n_seeds):
+                params = DeploymentParams(
+                    n_nodes=24, n_groups=5, n_clients=3, seed=trial_seed
+                )
+                if backend == "scatter+repair":
+                    # Repair cadence tuned to the churn it faces — the
+                    # same courtesy the Chord baseline gets for free
+                    # (stabilize every 0.5 s, full replica scrub every
+                    # 2 s).  The stock config detects death in 3 s and
+                    # waits 6 s of suspicion before repairing; at one
+                    # permanent loss every few seconds that chain loses
+                    # the race by construction, so the operator-tuned
+                    # deployment detects in 1.5 s and repairs after 2.5 s.
+                    deployment = build_scatter_deployment(
+                        params,
+                        policy=ScatterPolicy(**CHURN_POLICY_KWARGS, repair=True),
+                        config=experiment_scatter_config(
+                            maintenance_interval=0.5,
+                            dead_timeout=1.5,
+                            repair_suspicion=2.5,
+                            txn_cooldown=1.0,
+                            gossip_interval=2.0,
+                        ),
+                    )
+                else:
+                    deployment = build_chord_deployment(
+                        params, config=ChordConfig(hardened=(backend == "chord+zave"))
+                    )
+                sim, system, clients = (
+                    deployment.sim, deployment.system, deployment.clients,
+                )
+
+                # Seed every survival key with a known value before any loss.
+                for i in range(n_keys):
+                    _settle_future(sim, clients[0].put(survival.key(i), f"v{i}"))
+
+                workload = ClosedLoopWorkload(
+                    sim, clients, keyspace, read_fraction=0.5, think_time=0.05
+                )
+                workload.start()
+                sim.run_for(3.0)
+
+                quorum_watch = None
+                if backend == "scatter+repair":
+                    quorum_watch = GroupQuorumWatch(sim, _group_quorum_probe(system))
+                    quorum_watch.start()
+                storm = NodeLossStorm(
+                    sim,
+                    FaultTarget.for_system(system),
+                    interval=interval,
+                    max_losses=18,
+                    min_alive=8,
+                )
+                start = sim.now
+                storm.start()
+                # Replacement capacity arrives at the loss rate, offset so
+                # a join never lands on the same instant as a kill.
+                storm_end = sim.now + duration
+                trial_joins = 0
+
+                def replenish():
+                    nonlocal trial_joins
+                    if sim.now < storm_end:
+                        system.add_node()
+                        trial_joins += 1
+                        sim.schedule(interval, replenish)
+
+                sim.schedule(interval * 1.5, replenish)
+                sim.run_for(duration)
+                storm.stop()
+                fault_end = sim.now
+                sim.run_for(20.0)  # let repair / stabilization settle
+                workload.stop()
+                if quorum_watch is not None:
+                    quorum_watch.stop()
+
+                for i in range(n_keys):
+                    res = _settle_future(sim, clients[1].get(survival.key(i)))
+                    if res is None or not res.ok or res.value != f"v{i}":
+                        lost += 1
+                metrics = workload_metrics(
+                    workload.all_records(), window=(start, fault_end)
+                )
+                losses += sum(1 for e in storm.events if e.action == "node_loss")
+                joins += trial_joins
+                ops += metrics["ops"]
+                ok_ops += round(metrics["availability"] * metrics["ops"])
+                if quorum_watch is not None:
+                    dead_groups += len(quorum_watch.dead_groups())
+                else:
+                    dead_groups = "-"
+            result.add(
+                backend=backend,
+                loss_interval_s=interval,
+                seeds=n_seeds,
+                losses=losses,
+                joins=joins,
+                ops=ops,
+                availability=ok_ops / max(1, ops),
+                keys_lost=lost,
+                keys_total=n_keys * n_seeds,
+                dead_groups=dead_groups,
+            )
+    return result
+
+
 EXPERIMENT_TITLES = {
     "E1": "inconsistent lookups in a Chord-style DHT vs churn (motivation)",
     "E2": "linearizability violations, Scatter vs Chord, under churn (headline)",
@@ -1103,6 +1321,7 @@ EXPERIMENT_TITLES = {
     "E15": "bonus: Paxos write batching ablation",
     "E16": "availability and recovery under gray failures vs clean crashes",
     "E17": "crash recovery cost vs snapshot threshold (durable storage)",
+    "E18": "data survival under permanent node loss (self-healing vs baselines)",
 }
 
 def _with_wall_clock(fn):
@@ -1145,6 +1364,7 @@ ALL_EXPERIMENTS = {
         "E15": run_e15,
         "E16": run_e16,
         "E17": run_e17,
+        "E18": run_e18,
     }.items()
 }
 

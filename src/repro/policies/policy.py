@@ -39,6 +39,16 @@ class ScatterPolicy:
       majority of peers is closest (minimizing commit round trips).
     - ``migrate_balance`` — oversized groups proactively migrate a
       member to the smallest known undersized group.
+
+    Repair axis (self-healing under permanent node loss):
+
+    - ``repair`` — when True, a group leader whose *live* membership has
+      fallen below the repair floor heals the group: it pulls a spare
+      node in from a healthy donor group (a migrate coordinated by the
+      fragile group itself), or merges with its successor when no donor
+      exists.  Off by default so existing runs are bit-identical.
+    - ``repair_floor`` — the minimum live replication a group may sit at
+      before repair kicks in; ``None`` means ``target_size``.
     """
 
     target_size: int = 5
@@ -50,10 +60,14 @@ class ScatterPolicy:
     # When True, oversized groups proactively migrate a member to the
     # smallest known undersized group instead of waiting for joins.
     migrate_balance: bool = False
+    repair: bool = False
+    repair_floor: int | None = None
 
     def __post_init__(self) -> None:
         if self.merge_size >= self.split_size:
             raise ValueError("merge_size must be < split_size")
+        if self.repair_floor is not None and self.repair_floor < 1:
+            raise ValueError("repair_floor must be >= 1")
         if self.join_mode not in ("smallest_group", "random", "largest_range"):
             raise ValueError(f"bad join_mode {self.join_mode}")
         if self.split_key_mode not in ("midpoint", "load_median"):
@@ -112,6 +126,40 @@ class ScatterPolicy:
         if not movable:
             return None
         return rng.choice(sorted(movable)), destination
+
+    # ------------------------------------------------------------------
+    # Repair (self-healing)
+    # ------------------------------------------------------------------
+    def effective_repair_floor(self) -> int:
+        """The live-replication level below which repair engages."""
+        return self.repair_floor if self.repair_floor is not None else self.target_size
+
+    def choose_repair_donor(
+        self, group: "GroupReplica", known: list["GroupInfo"]
+    ) -> tuple[str, "GroupInfo"] | None:
+        """(node, donor group) for a pull-in repair migrate, or None.
+
+        A donor must sit strictly above the repair floor so donating
+        cannot drag *it* below the floor, and must have a member not
+        already in the fragile group.  Selection is deterministic: the
+        largest (then lexicographically-first) donor, and its first
+        spare member in sorted order — two leaders observing the same
+        overlay state pick the same donor, so duplicate repairs target
+        the same node and the second prepare is refused cleanly.
+        """
+        floor = self.effective_repair_floor()
+        ours = set(group.members)
+        candidates: list[tuple["GroupInfo", str]] = []
+        for info in known:
+            if info.gid == group.gid or len(info.members) <= floor:
+                continue
+            spare = sorted(m for m in info.members if m not in ours)
+            if spare:
+                candidates.append((info, spare[0]))
+        if not candidates:
+            return None
+        donor, node = max(candidates, key=lambda c: (len(c[0].members), c[0].gid))
+        return node, donor
 
     def choose_split_key(self, group: "GroupReplica") -> int:
         """Where to cut the range: geometric middle or load median."""

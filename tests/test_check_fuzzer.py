@@ -124,6 +124,35 @@ class TestDemoBugCanary:
         assert observed.name == recorded.name
 
 
+class TestRepairRaceCanary:
+    """The repair-race demo bug: the roster says healed, replication lies.
+
+    The buggy repair skips the state-transfer transaction and commits
+    the new member straight into the Paxos config, so the group *looks*
+    refilled while the seat holds nothing — exactly what the
+    replication-floor invariant counts (attending replicas, not roster
+    lines).  Only bites on plans with a node_loss fault.
+    """
+
+    def test_found_shrunk_and_replayed(self, tmp_path):
+        summary = run_fuzz(
+            FuzzConfig(
+                master_seed=29,
+                iterations=5,
+                bug="repair-race",
+                out_dir=str(tmp_path),
+            )
+        )
+        assert summary.found
+        assert summary.failure.kind == "invariant"
+        assert summary.failure.name == "replication-floor"
+        assert summary.shrink["schedule_after"] <= summary.shrink["schedule_before"]
+        data = load_repro(summary.repro_path)
+        reproduced, observed, recorded = replay(data)
+        assert reproduced, f"replay diverged: observed={observed} recorded={recorded}"
+        assert observed.name == recorded.name == "replication-floor"
+
+
 class TestCli:
     def test_clean_fuzz_exits_zero_with_summary(self, tmp_path):
         proc = subprocess.run(

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baseline.chord import ChordClient, ChordConfig, ChordSystem, in_interval
+from repro.check.invariants import check_chord_ring
 from repro.dht.ring import KEY_SPACE, hash_key
 from repro.sim import ConstantLatency, SimNetwork, Simulator
 
@@ -178,3 +179,128 @@ class TestOps:
             if acked and stale:
                 violations += 1
         assert violations >= 1
+
+
+class TestStabilizationRaces:
+    """Join/stabilize interleavings the Zave hardening must survive.
+
+    Each test drives a race that is benign in the pre-built steady
+    state but bites mid-stabilization, then asserts convergence *and*
+    the Zave ring-structure conditions via :func:`check_chord_ring` —
+    a converged-looking ring with an out-of-order successor list is
+    exactly the latent state Zave's paper shows decaying later.
+    """
+
+    def build_hardened(self, n=12, seed=7):
+        sim = Simulator(seed=seed)
+        net = SimNetwork(sim, latency=ConstantLatency(0.004))
+        system = ChordSystem.build(
+            sim, net, n_nodes=n, config=ChordConfig(hardened=True)
+        )
+        sim.run_for(2.0)
+        return sim, net, system
+
+    def test_lookup_during_join_window(self):
+        """Reads issued while a join is mid-stabilization still resolve."""
+        sim, net, system = self.build_hardened()
+        client = client_for(sim, net, system)
+        puts = [client.put(f"k{i}", i) for i in range(12)]
+        sim.run_for(3.0)
+        assert all(f.result().ok for f in puts)
+        system.add_node()
+        # The join's lookup, notify, and key handoff are all in flight
+        # while these reads route through the affected arc.  A read may
+        # transiently miss (the newcomer owns the arc before the handoff
+        # lands — best-effort Chord's documented wart), but it must
+        # terminate and must never return a *wrong* value.
+        gets = [client.get(f"k{i}") for i in range(12)]
+        sim.run_for(6.0)
+        for i, f in enumerate(gets):
+            assert f.done and f.exception is None
+            res = f.result()
+            if res.ok:
+                assert res.value == i
+        # Once the join settles, no key was lost and the ring is sound.
+        sim.run_for(10.0)
+        reads = [client.get(f"k{i}") for i in range(12)]
+        sim.run_for(6.0)
+        assert [f.result().value for f in reads] == list(range(12))
+        assert check_chord_ring(system) == []
+
+    def test_concurrent_joins_converge(self):
+        """Three nodes join at the same instant; all integrate cleanly.
+
+        Simultaneous joiners can pick the same seed, notify the same
+        successor back-to-back, and (when their ids land in one arc)
+        race for the same gap — the classic stabilization stress case.
+        """
+        sim, net, system = self.build_hardened(n=8)
+        newcomers = [system.add_node() for _ in range(3)]
+        sim.run_for(25.0)
+        assert check_chord_ring(system) == []
+        ordered = sorted(system.alive_node_ids(), key=hash_key)
+        for node in newcomers:
+            idx = ordered.index(node.node_id)
+            assert node.successor == ordered[(idx + 1) % len(ordered)]
+            pred = ordered[(idx - 1) % len(ordered)]
+            assert system.nodes[pred].successor == node.node_id
+
+    def test_join_while_predecessor_fails(self):
+        """The joiner's would-be predecessor dies with the join in flight.
+
+        The newcomer's notify lands on a successor whose predecessor
+        pointer names a corpse; rectify must discard the dead entry in
+        favour of the live newcomer instead of wedging on it.
+        """
+        sim, net, system = self.build_hardened(n=12)
+        node = system.add_node()
+        sim.run_for(0.2)  # join lookup issued, stabilization not settled
+        others = [n for n in system.alive_node_ids() if n != node.node_id]
+        pred = min(
+            others,
+            key=lambda n: (hash_key(node.node_id) - hash_key(n)) % KEY_SPACE,
+        )
+        system.kill_node(pred)
+        sim.run_for(25.0)
+        assert check_chord_ring(system) == []
+        ordered = sorted(system.alive_node_ids(), key=hash_key)
+        idx = ordered.index(node.node_id)
+        assert node.successor == ordered[(idx + 1) % len(ordered)]
+
+    def test_ring_invariants_through_mixed_churn(self):
+        """Interleaved joins and permanent failures never leave the ring
+        in a state violating the Zave conditions once it settles."""
+        sim, net, system = self.build_hardened(n=12, seed=11)
+        rng = sim.rng("test-churn")
+        for _ in range(4):
+            system.add_node()
+            victim = rng.choice(system.alive_node_ids())
+            system.kill_node(victim)
+            sim.run_for(4.0)
+        sim.run_for(20.0)
+        assert check_chord_ring(system) == []
+
+    def test_hardened_timers_are_jittered_not_lockstep(self):
+        """Decorrelated jitter must spread maintenance timers out.
+
+        In naive mode every node stabilizes on the same period from the
+        same start, so the whole ring fires in lockstep; hardened mode
+        draws a decorrelated-jitter delay per timer per node.  Observe
+        the per-timer jitter cursors: they exist only in hardened mode
+        and differ across nodes.
+        """
+        sim, net, system = self.build_hardened(n=8)
+        sim.run_for(5.0)
+        cursors = [
+            node._jitter_prev.get("stabilize")
+            for node in system.nodes.values()
+            if node.alive
+        ]
+        assert all(c is not None for c in cursors)
+        assert len(set(cursors)) > 1  # not in lockstep
+
+        naive_sim = Simulator(seed=7)
+        naive_net = SimNetwork(naive_sim, latency=ConstantLatency(0.004))
+        naive = ChordSystem.build(naive_sim, naive_net, n_nodes=8)
+        naive_sim.run_for(5.0)
+        assert all(not node._jitter_prev for node in naive.nodes.values())

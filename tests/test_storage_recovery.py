@@ -381,8 +381,8 @@ class TestFuzzIntegration:
     def test_storage_plan_with_disk_faults_runs_clean(self):
         from repro.check import run_plan, sample_plan
 
-        # seed 42 iteration 9: disk_slow + disk_io + disk_corrupt faults
-        plan = sample_plan(42, 9)
+        # seed 42 iteration 92: disk_slow + disk_io + disk_loss faults
+        plan = sample_plan(42, 92)
         assert plan.storage
         assert len({e.kind for e in plan.schedule if e.kind.startswith("disk_")}) >= 3
         outcome = run_plan(plan)
