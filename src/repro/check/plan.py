@@ -110,6 +110,15 @@ class FuzzPlan:
     # Sampled plans enable it; old repro files deserialize to False and
     # replay exactly as recorded.
     repair: bool = False
+    # Write-path throughput knobs (slot batching, pipeline flow control,
+    # accept coalescing, WAL group commit).  Sampled plans randomize them
+    # so acceptor-durability polices fsync coalescing under disk faults
+    # and power failures; old repro files deserialize to the historical
+    # defaults and replay exactly as recorded.
+    batching: bool = False
+    pipeline_depth: int = 0
+    accept_coalescing: bool = False
+    fsync_coalesce: float = 0.0
 
     @property
     def n_nodes(self) -> int:
@@ -276,6 +285,16 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
             )
             op_id += 1
 
+    # Write-path knobs come from a *separate* RNG stream derived from the
+    # same seed, so adding them did not shift any draw above — existing
+    # plans (and the canary-bug seeds that depend on their exact
+    # schedules) are unchanged.
+    wp = random.Random(_stable_hash(f"writepath:{seed}"))
+    batching = wp.random() < 0.5
+    pipeline_depth = wp.choice([0, 0, 2, 4, 8])
+    accept_coalescing = wp.random() < 0.5
+    fsync_coalesce = wp.choice([0.0, 0.0, 0.001, 0.002, 0.005])
+
     return FuzzPlan(
         master_seed=master_seed,
         iteration=iteration,
@@ -290,6 +309,10 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
         ops=tuple(ops),
         storage=True,
         repair=True,
+        batching=batching,
+        pipeline_depth=pipeline_depth,
+        accept_coalescing=accept_coalescing,
+        fsync_coalesce=fsync_coalesce,
     )
 
 
@@ -314,6 +337,10 @@ def plan_to_dict(plan: FuzzPlan) -> dict[str, Any]:
         "ops": [[o.op_id, o.client, o.kind, o.key, o.think] for o in plan.ops],
         "storage": plan.storage,
         "repair": plan.repair,
+        "batching": plan.batching,
+        "pipeline_depth": plan.pipeline_depth,
+        "accept_coalescing": plan.accept_coalescing,
+        "fsync_coalesce": plan.fsync_coalesce,
     }
 
 
@@ -337,4 +364,8 @@ def plan_from_dict(data: dict[str, Any]) -> FuzzPlan:
         ops=ops,
         storage=data.get("storage", False),
         repair=data.get("repair", False),
+        batching=data.get("batching", False),
+        pipeline_depth=data.get("pipeline_depth", 0),
+        accept_coalescing=data.get("accept_coalescing", False),
+        fsync_coalesce=data.get("fsync_coalesce", 0.0),
     )

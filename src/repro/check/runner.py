@@ -11,7 +11,7 @@ the shrinker and ``--replay`` re-execute it byte-identically.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.analysis.linearizability import check_history
@@ -23,7 +23,7 @@ from repro.check.workload import ScriptedWorkload
 from repro.dht.client import ScatterClient
 from repro.dht.system import ScatterSystem
 from repro.faults.target import FaultTarget
-from repro.harness.builders import experiment_scatter_config
+from repro.harness.builders import EXPERIMENT_PAXOS, experiment_scatter_config
 from repro.policies import ScatterPolicy
 from repro.sim.latency import LogNormalLatency
 from repro.sim.loop import Simulator, _stable_hash
@@ -95,7 +95,17 @@ def run_plan(plan: FuzzPlan, bug: str | None = None) -> FuzzOutcome:
             n_nodes=plan.n_nodes,
             n_groups=plan.n_groups,
             config=experiment_scatter_config(
-                storage=StorageConfig() if plan.storage else None
+                paxos=replace(
+                    EXPERIMENT_PAXOS,
+                    batch=plan.batching,
+                    pipeline_depth=plan.pipeline_depth,
+                    accept_coalescing=plan.accept_coalescing,
+                ),
+                storage=(
+                    StorageConfig(fsync_coalesce=plan.fsync_coalesce)
+                    if plan.storage
+                    else None
+                ),
             ),
             policy=policy,
         )

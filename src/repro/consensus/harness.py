@@ -14,7 +14,9 @@ from typing import Any, Callable
 from repro.consensus.commands import Command
 from repro.consensus.messages import (
     Accept,
+    AcceptBatch,
     Accepted,
+    AcceptedBatch,
     AcceptNack,
     CatchupReply,
     CatchupRequest,
@@ -40,7 +42,9 @@ PAXOS_MESSAGE_TYPES = (
     Promise,
     PrepareNack,
     Accept,
+    AcceptBatch,
     Accepted,
+    AcceptedBatch,
     AcceptNack,
     Heartbeat,
     HeartbeatAck,
@@ -101,7 +105,7 @@ class PaxosHost(Node):
         self.applied: list[tuple[int, Command]] = []
         self._apply_fn = apply_fn
         if storage is not None:
-            self.disk = NodeDisk(node_id, storage)
+            self.disk = NodeDisk(node_id, storage, tracer=sim.tracer)
         self.replica = PaxosReplica(
             replica_id=node_id,
             members=members,

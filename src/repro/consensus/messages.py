@@ -50,6 +50,33 @@ class Accepted:
 
 
 @dataclass(frozen=True, slots=True)
+class AcceptBatch:
+    """Phase 2a for several *contiguous* slots packed into one message.
+
+    Sent when ``PaxosConfig.accept_coalescing`` is on: slot ``start_slot
+    + i`` carries ``commands[i]``.  The receiver journals every covered
+    slot and answers with one :class:`AcceptedBatch` from a single fsync
+    completion, so a pipelined burst costs one network delivery (and one
+    durability barrier) per peer instead of one per slot.
+    """
+
+    ballot: Ballot
+    start_slot: int
+    commands: tuple[Command, ...]
+    commit_index: int
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptedBatch:
+    """Phase 2b acks for every slot of an :class:`AcceptBatch` that was
+    journaled durably (slots that failed their WAL append are omitted
+    and covered by the leader's retry tick)."""
+
+    ballot: Ballot
+    slots: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class AcceptNack:
     ballot: Ballot
     slot: int

@@ -47,7 +47,9 @@ from repro.consensus.commands import CMD_BATCH, CMD_CONFIG, Command, ConfigChang
 from repro.consensus.log import PaxosLog
 from repro.consensus.messages import (
     Accept,
+    AcceptBatch,
     Accepted,
+    AcceptedBatch,
     AcceptNack,
     CatchupReply,
     CatchupRequest,
@@ -119,12 +121,26 @@ class PaxosConfig:
     # accepted value before answering, so replies to Prepare and Accept
     # are delayed by this much (models fsync; 0 = in-memory).
     disk_write_latency: float = 0.0
+    # Pipeline flow control: bound on in-flight unchosen slots at the
+    # leader.  Proposals beyond the window wait in the admission queue
+    # and are issued as commits drain, so bursty load fills the pipe
+    # instead of growing unbounded retry state (retry ticks scan only
+    # the bounded in-flight window).  0 = unbounded (historical
+    # behavior).
+    pipeline_depth: int = 0
+    # Pack Accepts for contiguous slots to the same peer into one
+    # AcceptBatch (and the acks into one AcceptedBatch), cutting
+    # per-slot network deliveries on the pipelined hot path.  Off by
+    # default (historical per-slot messages).
+    accept_coalescing: bool = False
 
     def __post_init__(self) -> None:
         if self.lease_duration >= self.election_timeout:
             raise ValueError("lease_duration must be < election_timeout")
         if self.heartbeat_interval >= self.lease_duration:
             raise ValueError("heartbeat_interval must be < lease_duration")
+        if self.pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be >= 0")
 
 
 @dataclass
@@ -215,6 +231,12 @@ class PaxosReplica:
         # Batching state (leader only).
         self._batch_buffer: list[tuple[Command, Future]] = []
         self._batch_flush_pending = False
+        self._batch_flush_timer: Any = None
+
+        # Accept-coalescing outbox (leader only): slots issued since the
+        # last flush, packed into contiguous-run AcceptBatches.
+        self._accept_outbox: list[int] = []
+        self._accept_flush_pending = False
 
         # Campaign state.
         self._campaigning = False
@@ -271,17 +293,37 @@ class PaxosReplica:
         lost to the power failure.
         """
         storage = self.storage
-        upto = storage.current_seq()
 
-        def complete() -> None:
-            if not storage.fsync_ok():
-                return  # IO error at fsync time: record stays volatile, no ack
-            storage.mark_synced(upto)
+        def on_durable() -> None:
             if kind == REC_PROMISE:
                 storage.note_acked_promise(ballot)
             else:
                 storage.note_acked_accept(slot, ballot, label)
             self.transport.send(dst, msg)
+
+        self._after_fsync(on_durable)
+
+    def _after_fsync(self, on_durable: Callable[[], None]) -> None:
+        """Run ``on_durable`` once an fsync covering the WAL tail completes.
+
+        With ``fsync_coalesce`` off this is the historical path: a
+        private timer per ack.  With it on, the ack joins the node
+        disk's group-commit batch and fires from its single completion
+        callback; either way the timer is crash-guarded, so a power
+        failure withholds every ack whose record the crash threw away.
+        """
+        storage = self.storage
+        upto = storage.current_seq()
+        disk = storage.disk
+        if disk.config.fsync_coalesce > 0:
+            disk.enqueue_fsync(storage, upto, self.transport.set_timer, on_durable)
+            return
+
+        def complete() -> None:
+            if not storage.fsync_ok():
+                return  # IO error at fsync time: record stays volatile, no ack
+            storage.mark_synced(upto)
+            on_durable()
 
         self.transport.set_timer(storage.fsync_delay(), complete)
 
@@ -389,7 +431,7 @@ class PaxosReplica:
         had committed when contact was re-established.
         """
         kind = type(msg)
-        if kind in (Heartbeat, Accept):
+        if kind in (Heartbeat, Accept, AcceptBatch):
             self._note_ballot(msg.ballot)
             if src != self.replica_id:
                 self.leader_hint = src
@@ -458,6 +500,13 @@ class PaxosReplica:
         for _command, future in self._batch_buffer:
             future.set_exception(fail_with)
         self._batch_buffer.clear()
+        self._batch_flush_pending = False
+        timer = self._batch_flush_timer
+        if timer is not None:
+            self._batch_flush_timer = None
+            timer.cancel()
+        self._accept_outbox.clear()
+        self._accept_flush_pending = False
 
     def retire(self) -> None:
         """Leave the group permanently (removed by reconfiguration)."""
@@ -489,11 +538,13 @@ class PaxosReplica:
                 self._flush_batch()
             elif not self._batch_flush_pending:
                 self._batch_flush_pending = True
-                self.transport.set_timer(self.config.batch_window, self._flush_batch)
+                self._batch_flush_timer = self.transport.set_timer(
+                    self.config.batch_window, self._flush_batch
+                )
             return future
         # Non-batchable commands must not overtake buffered ones.
         self._flush_batch()
-        if self._barrier_slot is not None or self._backlog:
+        if self._barrier_slot is not None or self._backlog or self._pipe_full():
             self._queue.append((command, future))
             return future
         self._issue(command, future)
@@ -501,6 +552,15 @@ class PaxosReplica:
 
     def _flush_batch(self) -> None:
         self._batch_flush_pending = False
+        timer = self._batch_flush_timer
+        if timer is not None:
+            # batch_max (or a non-batchable command) forced an early
+            # flush: cancel the pending window timer instead of letting
+            # it fire as a wasted hot-path event that could also flush a
+            # *later* batch before its window.  Cancel-after-fire (the
+            # timer itself called us) is a no-op.
+            self._batch_flush_timer = None
+            timer.cancel()
         if not self._batch_buffer:
             return
         buffered, self._batch_buffer = self._batch_buffer, []
@@ -526,7 +586,7 @@ class PaxosReplica:
                     sub.set_result(result)
 
             future.add_callback(distribute)
-        if self._barrier_slot is not None or self._backlog:
+        if self._barrier_slot is not None or self._backlog or self._pipe_full():
             self._queue.append((command, future))
         else:
             self._issue(command, future)
@@ -816,8 +876,18 @@ class PaxosReplica:
                 self._barrier_slot = slot
             self._send_accepts(slot, command)
 
+    def _pipe_full(self) -> bool:
+        """Flow control: is the in-flight unchosen-slot window exhausted?"""
+        depth = self.config.pipeline_depth
+        return depth > 0 and len(self._pending) >= depth
+
     def _flush_queue(self) -> None:
-        while self._queue and self._barrier_slot is None and not self._backlog:
+        while (
+            self._queue
+            and self._barrier_slot is None
+            and not self._backlog
+            and not self._pipe_full()
+        ):
             command, future = self._queue.pop(0)
             self._issue(command, future)
 
@@ -829,11 +899,52 @@ class PaxosReplica:
                 PAXOS_SLOT, slot=slot, leader=self.replica_id, cmd=command.kind
             )
         self._pending[slot] = pending
+        if self.config.accept_coalescing:
+            # Defer the broadcast to the end of this event turn so every
+            # slot issued in it (a drained queue, a flushed batch burst)
+            # packs into contiguous-run AcceptBatches per peer.
+            self._accept_outbox.append(slot)
+            if not self._accept_flush_pending:
+                self._accept_flush_pending = True
+                self.transport.set_timer(0.0, self._flush_accept_outbox)
+            return
         msg = Accept(
             ballot=self.ballot, slot=slot, command=command, commit_index=self.log.commit_index
         )
         for member in self.members:
             self.transport.send(member, msg)
+
+    def _flush_accept_outbox(self) -> None:
+        self._accept_flush_pending = False
+        outbox, self._accept_outbox = self._accept_outbox, []
+        if not self.is_leader or self.retired:
+            return
+        live = sorted(
+            (slot, self._pending[slot].command)
+            for slot in set(outbox)
+            if slot in self._pending
+        )
+        for run in _contiguous_runs(live):
+            msg = self._pack_run(run)
+            for member in self.members:
+                self.transport.send(member, msg)
+
+    def _pack_run(self, run: list[tuple[int, Command]]) -> Any:
+        """One wire message for a run of contiguous (slot, command) pairs."""
+        if len(run) == 1:
+            slot, command = run[0]
+            return Accept(
+                ballot=self.ballot,
+                slot=slot,
+                command=command,
+                commit_index=self.log.commit_index,
+            )
+        return AcceptBatch(
+            ballot=self.ballot,
+            start_slot=run[0][0],
+            commands=tuple(command for _slot, command in run),
+            commit_index=self.log.commit_index,
+        )
 
     def _on_accept(self, src: str, msg: Accept) -> None:
         self._note_ballot(msg.ballot)
@@ -868,6 +979,55 @@ class PaxosReplica:
             self._send_durable(src, Accepted(msg.ballot, msg.slot))
         self._learn_commit_index(src, msg.ballot, msg.commit_index)
 
+    def _on_accept_batch(self, src: str, msg: AcceptBatch) -> None:
+        """Unpack a coalesced Accept run: journal every covered slot, then
+        answer with one AcceptedBatch from a single durability barrier."""
+        self._note_ballot(msg.ballot)
+        if msg.ballot < self.promised:
+            self.transport.send(
+                src, AcceptNack(msg.ballot, msg.start_slot, self.promised)
+            )
+            return
+        if msg.ballot > self.promised or src != self.replica_id:
+            self._observe_other_leader(src, msg.ballot)
+        self.promised = msg.ballot
+        compacted: list[int] = []
+        journaled: list[tuple[int, str]] = []
+        for offset, command in enumerate(msg.commands):
+            slot = msg.start_slot + offset
+            if slot < self.log.first_slot:
+                compacted.append(slot)  # already chosen and applied here
+                continue
+            entry = self.log.entry(slot)
+            if not entry.chosen:
+                entry.accepted_ballot = msg.ballot
+                entry.accepted_value = command
+            if self.storage is not None:
+                if self.storage.append_accept(slot, msg.ballot, command):
+                    journaled.append((slot, command_label(command)))
+                # On append failure (IO error) the slot is omitted from the
+                # ack; the leader's retry tick covers it.
+            else:
+                journaled.append((slot, command_label(command)))
+        if journaled:
+            acked = tuple(compacted) + tuple(slot for slot, _label in journaled)
+            reply = AcceptedBatch(ballot=msg.ballot, slots=acked)
+            if self.storage is not None:
+                storage = self.storage
+                ballot = msg.ballot
+
+                def on_durable() -> None:
+                    for slot, label in journaled:
+                        storage.note_acked_accept(slot, ballot, label)
+                    self.transport.send(src, reply)
+
+                self._after_fsync(on_durable)
+            else:
+                self._send_durable(src, reply)
+        elif compacted:
+            self.transport.send(src, AcceptedBatch(msg.ballot, tuple(compacted)))
+        self._learn_commit_index(src, msg.ballot, msg.commit_index)
+
     def _send_durable(self, dst: str, msg: Any) -> None:
         """Send after the modelled durable write completes."""
         disk = self.config.disk_write_latency
@@ -890,20 +1050,32 @@ class PaxosReplica:
         if not self.is_leader or msg.ballot != self.ballot:
             return
         self.member_last_ack[src] = self.transport.now
-        pending = self._pending.get(msg.slot)
+        self._slot_accepted(src, msg.slot)
+
+    def _on_accepted_batch(self, src: str, msg: AcceptedBatch) -> None:
+        if not self.is_leader or msg.ballot != self.ballot:
+            return
+        self.member_last_ack[src] = self.transport.now
+        for slot in msg.slots:
+            self._slot_accepted(src, slot)
+            if not self.is_leader:
+                return  # a config change in the batch may have removed us
+
+    def _slot_accepted(self, src: str, slot: int) -> None:
+        pending = self._pending.get(slot)
         if pending is None or src not in self.members:
             return
         pending.acks.add(src)
         if len(pending.acks) >= self._majority():
-            del self._pending[msg.slot]
+            del self._pending[slot]
             self._retry_delay = None
             if self.tracer is not None:
                 self.tracer.metrics.inc("paxos.slots_chosen")
                 if pending.span is not None and pending.span.open:
                     self.tracer.finish(pending.span, outcome="chosen")
-            self.log.mark_chosen(msg.slot, pending.command)
+            self.log.mark_chosen(slot, pending.command)
             self._apply_committed()
-            if self._barrier_slot == msg.slot:
+            if self._barrier_slot == slot:
                 pass  # cleared in _apply_committed once the config applies
             self._drain_backlog()
             self._after_commit_progress()
@@ -1009,16 +1181,29 @@ class PaxosReplica:
         if self.tracer is not None and self._pending:
             self.tracer.metrics.inc("paxos.retransmissions", len(self._pending))
             self.tracer.metrics.inc("paxos.accept_rounds", len(self._pending))
-        for slot, pending in sorted(self._pending.items()):
-            msg = Accept(
-                ballot=self.ballot,
-                slot=slot,
-                command=pending.command,
-                commit_index=self.log.commit_index,
-            )
-            for member in self.members:
-                if member not in pending.acks:
-                    self.transport.send(member, msg)
+        if self.config.accept_coalescing:
+            # Pack each peer's unacked slots into contiguous-run batches.
+            per_member: dict[str, list[tuple[int, Command]]] = {}
+            for slot, pending in sorted(self._pending.items()):
+                for member in self.members:
+                    if member not in pending.acks:
+                        per_member.setdefault(member, []).append(
+                            (slot, pending.command)
+                        )
+            for member, need in per_member.items():
+                for run in _contiguous_runs(need):
+                    self.transport.send(member, self._pack_run(run))
+        else:
+            for slot, pending in sorted(self._pending.items()):
+                msg = Accept(
+                    ballot=self.ballot,
+                    slot=slot,
+                    command=pending.command,
+                    commit_index=self.log.commit_index,
+                )
+                for member in self.members:
+                    if member not in pending.acks:
+                        self.transport.send(member, msg)
         if self._pending:
             self._retry_delay = decorrelated_jitter(
                 self.transport.rng(),
@@ -1164,12 +1349,25 @@ class PaxosReplica:
     _HANDLERS: dict[type, Callable[["PaxosReplica", str, Any], None]] = {}
 
 
+def _contiguous_runs(pairs: list[tuple[int, Command]]) -> list[list[tuple[int, Command]]]:
+    """Split sorted (slot, command) pairs into runs of consecutive slots."""
+    runs: list[list[tuple[int, Command]]] = []
+    for slot, command in pairs:
+        if runs and slot == runs[-1][-1][0] + 1:
+            runs[-1].append((slot, command))
+        else:
+            runs.append([(slot, command)])
+    return runs
+
+
 PaxosReplica._HANDLERS = {
     Prepare: PaxosReplica._on_prepare,
     Promise: PaxosReplica._on_promise,
     PrepareNack: PaxosReplica._on_prepare_nack,
     Accept: PaxosReplica._on_accept,
     Accepted: PaxosReplica._on_accepted,
+    AcceptBatch: PaxosReplica._on_accept_batch,
+    AcceptedBatch: PaxosReplica._on_accepted_batch,
     AcceptNack: PaxosReplica._on_accept_nack,
     Heartbeat: PaxosReplica._on_heartbeat,
     HeartbeatAck: PaxosReplica._on_heartbeat_ack,

@@ -81,6 +81,12 @@ class ScatterConfig:
     # saturate under offered load, giving the classic latency-throughput
     # curve (experiment E14).
     op_service_time: float = 0.0
+    # CPU service time per inbound *group* (Paxos) message, through the
+    # same per-node CPU queue as op_service_time.  Models deployments
+    # where per-message constant costs (syscalls, dispatch, serialization)
+    # dominate the write path — exactly what accept coalescing and batch
+    # commands amortize.  Zero (default) keeps message handling free.
+    msg_service_time: float = 0.0
     # Durable-storage model (repro.storage).  None keeps the historical
     # fiction (restart recovers the replica object perfectly and no disk
     # events exist); a StorageConfig gives every node a simulated disk
@@ -135,7 +141,7 @@ class ScatterNode(Node):
         self.config = config or ScatterConfig()
         self.policy = policy or ScatterPolicy()
         if self.config.storage is not None:
-            self.disk = NodeDisk(node_id, self.config.storage)
+            self.disk = NodeDisk(node_id, self.config.storage, tracer=sim.tracer)
         self.groups: dict[str, GroupReplica] = {}
         self.forwarding: dict[str, tuple[GroupInfo, ...]] = {}
         self.txn_outcomes: dict[str, tuple[TxnDecision, dict]] = {}
@@ -262,6 +268,17 @@ class ScatterNode(Node):
     # Message handlers: Paxos plumbing
     # ------------------------------------------------------------------
     def _on_group_msg(self, src: str, msg: GroupMsg) -> None:
+        if self.config.msg_service_time > 0:
+            # Same CPU queue as op_service_time: each group message costs
+            # msg_service_time of node CPU before it is handled, so a
+            # chatty write path saturates the node and coalescing pays.
+            start = max(self.sim.now, self._svc_free_at)
+            self._svc_free_at = start + self.config.msg_service_time
+            self.set_timer(self._svc_free_at - self.sim.now, self._handle_group_msg, src, msg)
+            return
+        self._handle_group_msg(src, msg)
+
+    def _handle_group_msg(self, src: str, msg: GroupMsg) -> None:
         replica = self.groups.get(msg.gid)
         if replica is not None:
             replica.paxos.on_message(src, msg.inner)

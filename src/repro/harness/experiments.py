@@ -1303,6 +1303,115 @@ def run_e18(quick: bool = True, seed: int = 20) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# E19: write-path saturation — batching x pipelining x group commit
+# ---------------------------------------------------------------------------
+def _total_fsyncs(system) -> int:
+    """Sum of completed fsyncs across every region of every node disk."""
+    total = 0
+    for node in system.nodes.values():
+        disk = getattr(node, "disk", None)
+        if disk is not None:
+            total += sum(region.fsyncs for region in disk.regions.values())
+    return total
+
+
+def run_e19(quick: bool = True, seed: int = 19) -> ExperimentResult:
+    """Saturation sweep of the full write-path throughput stack.
+
+    The cost model makes per-message and per-fsync constants the
+    bottleneck (msg_service_time on the CPU queue, fsync_latency on the
+    disk), which is exactly what slot batching, accept coalescing, and
+    WAL group commit amortize.  Every cell runs the linearizability
+    checker; the throughput win must come at an unchanged consistency
+    bar.
+    """
+    result = ExperimentResult(
+        experiment="E19",
+        title="E19: write-path saturation — batch size x pipeline depth x fsync coalescing",
+        columns=[
+            "batch", "pipe", "coalesce_ms", "ops_per_s", "p50_ms", "p99_ms",
+            "p999_ms", "msgs_per_op", "fsyncs_per_op", "violations",
+        ],
+        notes=(
+            "write-heavy closed loop (10% reads) against 3 groups with "
+            "1 ms CPU per group message and 2 ms fsyncs: the baseline pays "
+            "per-slot messages and per-ack fsyncs; batch=N packs N puts "
+            "into one slot, pipe=D keeps D slots in flight (with accept "
+            "coalescing packing their Accepts per peer), coalesce_ms folds "
+            "a window of WAL appends into one group-commit fsync"
+        ),
+    )
+    # (batch_max, pipeline_depth, accept_coalescing, fsync_coalesce ms).
+    # batch 0 = batching off; pipe 0 = unbounded in-flight slots.
+    cells = [
+        (0, 0, False, 0.0),   # defaults: the seed write path
+        (16, 0, False, 0.0),  # slot batching only
+        (0, 8, True, 0.0),    # pipelining + accept coalescing only
+        (16, 8, True, 0.0),   # full stack minus group commit
+        (16, 8, True, 2.0),   # full stack
+    ]
+    if not quick:
+        cells += [
+            (4, 0, False, 0.0),
+            (16, 4, True, 0.0),
+            (16, 8, True, 1.0),
+            (16, 16, True, 2.0),
+        ]
+    duration = 12.0 if quick else 30.0
+    n_clients = 48 if quick else 64
+    for batch_max, pipe, coalesce, coalesce_ms in cells:
+        paxos = PaxosConfig(
+            heartbeat_interval=0.15,
+            election_timeout=0.7,
+            lease_duration=0.5,
+            retry_interval=0.4,
+            compact_threshold=400,
+            batch=batch_max > 0,
+            batch_window=0.003,
+            batch_max=batch_max or 16,
+            pipeline_depth=pipe,
+            accept_coalescing=coalesce,
+        )
+        config = experiment_scatter_config(
+            paxos=paxos,
+            storage=StorageConfig(fsync_coalesce=coalesce_ms / 1000.0),
+        )
+        config.op_service_time = 0.0002
+        config.msg_service_time = 0.001
+        params = DeploymentParams(n_nodes=9, n_groups=3, n_clients=n_clients, seed=seed)
+        deployment = build_scatter_deployment(params, config=config)
+        sim, net, system = deployment.sim, deployment.net, deployment.system
+        workload = ClosedLoopWorkload(
+            sim, deployment.clients, UniformKeys(60), read_fraction=0.1, think_time=0.0
+        )
+        workload.start()
+        sim.run_for(3.0)
+        start = sim.now
+        msgs_before = net.stats.sent
+        fsyncs_before = _total_fsyncs(system)
+        sim.run_for(duration)
+        msgs = net.stats.sent - msgs_before
+        fsyncs = _total_fsyncs(system) - fsyncs_before
+        workload.stop()
+        sim.run_for(1.0)
+        metrics = workload_metrics(workload.all_records(), window=(start, start + duration))
+        completed = max(1, metrics["completed"])
+        result.add(
+            batch=batch_max,
+            pipe=pipe,
+            coalesce_ms=coalesce_ms,
+            ops_per_s=metrics["completed"] / duration,
+            p50_ms=1000 * metrics["latency_p50"],
+            p99_ms=1000 * metrics["latency_p99"],
+            p999_ms=1000 * metrics["latency_p999"],
+            msgs_per_op=msgs / completed,
+            fsyncs_per_op=fsyncs / completed,
+            violations=metrics["violations"],
+        )
+    return result
+
+
 EXPERIMENT_TITLES = {
     "E1": "inconsistent lookups in a Chord-style DHT vs churn (motivation)",
     "E2": "linearizability violations, Scatter vs Chord, under churn (headline)",
@@ -1322,6 +1431,7 @@ EXPERIMENT_TITLES = {
     "E16": "availability and recovery under gray failures vs clean crashes",
     "E17": "crash recovery cost vs snapshot threshold (durable storage)",
     "E18": "data survival under permanent node loss (self-healing vs baselines)",
+    "E19": "write-path saturation: batching x pipelining x fsync coalescing",
 }
 
 def _with_wall_clock(fn):
@@ -1365,6 +1475,7 @@ ALL_EXPERIMENTS = {
         "E16": run_e16,
         "E17": run_e17,
         "E18": run_e18,
+        "E19": run_e19,
     }.items()
 }
 

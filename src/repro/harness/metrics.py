@@ -33,8 +33,11 @@ def workload_metrics(records: list, window: tuple[float, float] | None = None) -
         "latency_mean": mean(latencies),
         "latency_p50": percentile(latencies, 50),
         "latency_p99": percentile(latencies, 99),
+        "latency_p999": percentile(latencies, 99.9),
         "get_p50": percentile(get_latencies, 50),
+        "get_p99": percentile(get_latencies, 99),
         "put_p50": percentile(put_latencies, 50),
+        "put_p99": percentile(put_latencies, 99),
         "reads_checked": check.total_reads,
         "violations": len(check.violations),
         "violation_fraction": check.violation_fraction,

@@ -155,6 +155,56 @@ def _bench_e2e_ops(duration: float) -> Callable[[], int]:
     return run
 
 
+def _bench_write_path(n: int) -> Callable[[], int]:
+    """Write-path saturation: a 3-replica Paxos group with the full
+    throughput stack on (slot batching, pipelined slots, accept
+    coalescing, WAL group commit) chewing through ``n`` closed-pipe
+    proposals at concurrency 64.  Guards the hot path the write-path
+    optimizations touch; returns simulator events processed.
+    """
+
+    def run() -> int:
+        from repro.consensus.commands import Command
+        from repro.consensus.harness import build_cluster
+        from repro.consensus.replica import PaxosConfig
+        from repro.storage.disk import StorageConfig
+
+        sim = Simulator(seed=1)
+        net = SimNetwork(sim, latency=ConstantLatency(0.001))
+        config = PaxosConfig(
+            heartbeat_interval=0.1,
+            election_timeout=0.5,
+            lease_duration=0.35,
+            retry_interval=0.3,
+            batch=True,
+            batch_window=0.002,
+            batch_max=16,
+            pipeline_depth=8,
+            accept_coalescing=True,
+        )
+        hosts = build_cluster(
+            sim, net, n=3, config=config, storage=StorageConfig(fsync_coalesce=0.002)
+        )
+        sim.run_for(0.5)  # let the initial leader settle
+        leader = hosts[0]
+        issued = [0]
+        done = [0]
+
+        def pump(_future: Any = None) -> None:
+            done[0] += _future is not None
+            if issued[0] < n:
+                issued[0] += 1
+                leader.propose(Command.app(issued[0])).add_callback(pump)
+
+        for _ in range(64):
+            pump()
+        sim.run_for(120.0)
+        run.ops = done[0]  # type: ignore[attr-defined]
+        return sim.events_processed
+
+    return run
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -168,6 +218,7 @@ def run_microbenchmarks(quick: bool = False, repeat: int = 3) -> dict:
     n_events = 30_000 if quick else 300_000
     n_msgs = 20_000 if quick else 200_000
     e2e_duration = 5.0 if quick else 30.0
+    n_writes = 2_000 if quick else 20_000
 
     specs: list[tuple[str, str, Callable[[], int]]] = [
         ("event_throughput", "events_per_s", _bench_event_throughput(n_events)),
@@ -175,6 +226,7 @@ def run_microbenchmarks(quick: bool = False, repeat: int = 3) -> dict:
         ("net_send_deliver", "msgs_per_s", _bench_net_send_deliver(n_msgs)),
         ("net_send_deliver_faulty", "msgs_per_s", _bench_net_send_deliver_faulty(n_msgs)),
         ("e2e_scatter_ops", "events_per_s", _bench_e2e_ops(e2e_duration)),
+        ("write_path_saturation", "events_per_s", _bench_write_path(n_writes)),
     ]
 
     benchmarks = []

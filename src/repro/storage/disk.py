@@ -27,7 +27,7 @@ deliberately logical — records are Python objects, not bytes — but the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 # Mirrors repro.consensus.single's Ballot / BALLOT_ZERO.  Defined here
 # (not imported) because repro.consensus imports this module: ballots are
@@ -56,10 +56,19 @@ class StorageConfig:
     # played for the fictional durability model; kept small but nonzero
     # so a lost-suffix window actually exists between append and fsync.
     fsync_latency: float = 0.002
+    # Group commit.  0 (the default) keeps the historical model: every
+    # ack schedules its own fsync timer.  A positive window makes the
+    # node's disk coalesce every append that lands within the window —
+    # across all of the node's regions — into ONE fsync, fanning the
+    # Promise/Accepted acks out from the single completion callback
+    # (see NodeDisk.enqueue_fsync).
+    fsync_coalesce: float = 0.0
 
     def __post_init__(self) -> None:
         if self.fsync_latency < 0:
             raise ValueError("fsync_latency must be >= 0")
+        if self.fsync_coalesce < 0:
+            raise ValueError("fsync_coalesce must be >= 0")
 
 
 @dataclass(frozen=True, slots=True)
@@ -132,6 +141,9 @@ class ReplicaStorage:
         record = WalRecord(self._next_seq, kind, slot, ballot, value)
         self._next_seq += 1
         self.records.append(record)
+        tracer = self.disk.tracer
+        if tracer is not None:
+            tracer.metrics.inc("wal.appends")
         return True
 
     def append_promise(self, ballot: Ballot) -> bool:
@@ -159,13 +171,23 @@ class ReplicaStorage:
     def mark_synced(self, seq: int) -> None:
         """An fsync covering records up to ``seq`` completed."""
         self.fsyncs += 1
+        tracer = self.disk.tracer
         if seq <= self.synced_seq:
+            if tracer is not None:
+                tracer.metrics.inc("wal.fsyncs")
+                tracer.metrics.observe("fsync.batch_size", 0)
             return
+        covered = 0
         for record in self.records:
-            if self.synced_seq < record.seq <= seq and record.kind == REC_PROMISE:
-                if record.ballot is not None and record.ballot > self.durable_promise:
-                    self.durable_promise = record.ballot
+            if self.synced_seq < record.seq <= seq:
+                covered += 1
+                if record.kind == REC_PROMISE:
+                    if record.ballot is not None and record.ballot > self.durable_promise:
+                        self.durable_promise = record.ballot
         self.synced_seq = seq
+        if tracer is not None:
+            tracer.metrics.inc("wal.fsyncs")
+            tracer.metrics.observe("fsync.batch_size", covered)
 
     # ------------------------------------------------------------------
     # Ledger (ack-time bookkeeping for the durability invariant)
@@ -262,7 +284,12 @@ class ReplicaStorage:
 class NodeDisk:
     """All durable regions of one simulated node, plus fault flags."""
 
-    def __init__(self, node_id: str, config: StorageConfig | None = None) -> None:
+    def __init__(
+        self,
+        node_id: str,
+        config: StorageConfig | None = None,
+        tracer: Any = None,
+    ) -> None:
         self.node_id = node_id
         self.config = config or StorageConfig()
         self.regions: dict[str, ReplicaStorage] = {}
@@ -271,6 +298,55 @@ class NodeDisk:
         # them).  fsync_factor: multiplier on fsync latency (slow disk).
         self.io_error = False
         self.fsync_factor = 1.0
+        # repro.obs tracer if the host's simulator has one bound (None =
+        # the disabled fast path; see wal.appends / wal.fsyncs metrics).
+        self.tracer = tracer
+        # Group-commit state (fsync_coalesce > 0): acks whose records
+        # landed since the last fsync, waiting for the coalescing window
+        # to close.  Entries are (region, covered_seq, on_durable).
+        self._commit_queue: list[tuple[ReplicaStorage, int, Callable[[], None]]] = []
+        self._commit_armed = False
+
+    # ------------------------------------------------------------------
+    # Group commit (fsync_coalesce > 0)
+    # ------------------------------------------------------------------
+    def enqueue_fsync(
+        self,
+        region: ReplicaStorage,
+        upto: int,
+        set_timer: Callable[..., Any],
+        on_durable: Callable[[], None],
+    ) -> None:
+        """Fold one append's ack into the disk-wide group-commit batch.
+
+        The first enqueue after an idle period arms one timer covering
+        the coalescing window plus the fsync itself; every ack landing
+        before it fires rides the same barrier.  ``set_timer`` must be
+        the host node's crash-guarded timer, so a power failure inside
+        the window silently discards the whole batch — no ack escapes
+        for a record the crash threw away (``power_failure`` also drops
+        the queued acks along with the un-fsynced suffix).
+        """
+        self._commit_queue.append((region, upto, on_durable))
+        if not self._commit_armed:
+            self._commit_armed = True
+            delay = self.config.fsync_coalesce + self.config.fsync_latency * self.fsync_factor
+            set_timer(delay, self._complete_group_fsync)
+
+    def _complete_group_fsync(self) -> None:
+        """The batch's single fsync finished: mark durable, fan acks out."""
+        self._commit_armed = False
+        batch, self._commit_queue = self._commit_queue, []
+        if self.io_error:
+            return  # the whole batch stays volatile; no acks, leaders retry
+        high: dict[str, int] = {}
+        for region, upto, _cb in batch:
+            if upto > high.get(region.gid, -1):
+                high[region.gid] = upto
+        for gid, upto in high.items():
+            self.regions[gid].mark_synced(upto)
+        for _region, _upto, on_durable in batch:
+            on_durable()
 
     def storage_for(self, gid: str) -> ReplicaStorage:
         region = self.regions.get(gid)
@@ -280,6 +356,11 @@ class NodeDisk:
         return region
 
     def power_failure(self) -> None:
+        # Acks queued behind the in-flight group commit die with the
+        # suffix; the crash-guarded timer never fires, and re-arming is
+        # reset here so post-recovery appends start a fresh batch.
+        self._commit_queue.clear()
+        self._commit_armed = False
         for region in self.regions.values():
             region.power_failure()
 

@@ -21,6 +21,7 @@ BENCH_NAMES = {
     "net_send_deliver",
     "net_send_deliver_faulty",
     "e2e_scatter_ops",
+    "write_path_saturation",
 }
 
 
