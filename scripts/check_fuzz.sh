@@ -11,7 +11,10 @@
 #     the safety invariants; forgotten-promise exercises
 #     acceptor-durability on storage-enabled plans; repair-race
 #     exercises replication-floor on node_loss plans (repair that
-#     skips the 2PC heals the roster but not the replication).
+#     skips the 2PC heals the roster but not the replication);
+#     stale-follower-read skips the follower's conflict-window check
+#     on follower_reads plans, and the linearizability checker flags
+#     the resulting stale Gets.
 #
 # A node_loss_storm nemesis run rides along as a third gate: permanent
 # losses under live load must end recovered with zero violations.
@@ -71,6 +74,7 @@ run_canary() {
 run_canary quorum-off-by-one 1 "$CANARY_ITERS"
 run_canary forgotten-promise 42 "$CANARY_ITERS"
 run_canary repair-race 29 "$CANARY_ITERS"
+run_canary stale-follower-read 11 "$CANARY_ITERS"
 
 echo "== nemesis: node_loss_storm, expecting recovery with no violations =="
 timeout 120 python -m repro nemesis node_loss_storm --duration 30

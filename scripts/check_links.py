@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links resolve to real files.
+"""Check that relative markdown links — and their anchors — resolve.
 
 Walks every ``*.md`` file in the repository (skipping dot-directories),
-extracts inline links and images (``[text](target)``), and verifies that
-each relative target exists on disk — anchors and external URLs are
-skipped, ``#fragment`` suffixes are stripped before the existence check.
-Stdlib only, so it runs anywhere the repo checks out.
+extracts inline links and images (``[text](target)``), and verifies
+that each relative target exists on disk and, when the target carries a
+``#fragment``, that the fragment names a real heading in the target
+file (GitHub anchor slugging: lowercase, punctuation stripped, spaces
+to hyphens, ``-1``/``-2`` suffixes for duplicates).  Same-file
+``#fragment`` links are checked against the linking file's own
+headings.  External URLs are skipped.  Stdlib only, so it runs
+anywhere the repo checks out.
 
 Usage: python scripts/check_links.py  (exit 1 on any broken link)
 """
@@ -18,6 +22,7 @@ from pathlib import Path
 
 # Inline links/images; [text](target "title") titles are trimmed below.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
 
@@ -34,18 +39,50 @@ def strip_code(text: str) -> str:
     return re.sub(r"`[^`]*`", "", text)
 
 
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, hyphens."""
+    text = re.sub(r"[`*_\[\]]", "", heading)  # inline markup first
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set[str]:
+    """Every anchor the file exposes, duplicate-suffixed like GitHub."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in strip_code(text).splitlines():
+        match = HEADING_RE.match(line)
+        if match is None:
+            continue
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
 def check(root: Path) -> list[str]:
+    texts = {path: path.read_text(encoding="utf-8") for path in iter_markdown(root)}
+    anchors = {path: heading_anchors(text) for path, text in texts.items()}
     errors = []
-    for path in iter_markdown(root):
-        for target in LINK_RE.findall(strip_code(path.read_text(encoding="utf-8"))):
-            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+    for path, text in texts.items():
+        rel = path.relative_to(root)
+        for target in LINK_RE.findall(strip_code(text)):
+            if target.startswith(SKIP_SCHEMES):
                 continue
-            plain = target.split("#", 1)[0]
-            if not plain:
+            plain, _, fragment = target.partition("#")
+            dest = path if not plain else (path.parent / plain).resolve()
+            if not dest.exists():
+                errors.append(f"{rel}: broken link -> {target}")
                 continue
-            resolved = (path.parent / plain).resolve()
-            if not resolved.exists():
-                errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+            if not fragment:
+                continue
+            dest_anchors = anchors.get(dest)
+            if dest_anchors is None:
+                continue  # fragment into a non-markdown file; nothing to check
+            if fragment.lower() not in dest_anchors:
+                errors.append(f"{rel}: broken anchor -> {target}")
     return errors
 
 
@@ -57,7 +94,7 @@ def main() -> int:
     if errors:
         print(f"{len(errors)} broken link(s)", file=sys.stderr)
         return 1
-    print(f"all relative markdown links resolve under {root}")
+    print(f"all relative markdown links and anchors resolve under {root}")
     return 0
 
 

@@ -10,7 +10,7 @@ Most users want one of:
 - :class:`repro.dht.system.ScatterSystem` — build a deployment in the
   simulator (``ScatterSystem.build(sim, net, n_nodes, n_groups)``).
 - :class:`repro.dht.client.ScatterClient` — linearizable get/put/cas.
-- :mod:`repro.harness.experiments` — the paper's evaluation, E1–E16.
+- :mod:`repro.harness.experiments` — the paper's evaluation, E1–E20.
 - :mod:`repro.obs` — operation-level tracing of any run
   (``python -m repro trace e05``); see docs/OBSERVABILITY.md.
 - ``python -m repro`` — the command-line interface over all of it.

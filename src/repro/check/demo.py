@@ -25,6 +25,14 @@ the duration of a ``with`` block:
   ``replication-floor`` invariant counts attending replicas, not roster
   lines, and catches it.  Only bites on plans with a ``node_loss``
   fault (the only plans where the floor is asserted).
+- ``stale-follower-read`` skips the follower's conflict-window check:
+  a granted follower serves any Get locally the moment its applied
+  prefix covers the advertised frontier, without checking the
+  in-flight write set or its own accepted-but-unapplied window.  A Get
+  racing a Put on the same key can then return the old value *after*
+  the Put was acknowledged elsewhere — a stale read the per-key
+  linearizability checker flags.  Only bites on plans with
+  ``follower_reads`` enabled (about half of sampled plans).
 
 The patch is applied at class level inside the context manager and
 always restored, so production code paths never see it; nothing outside
@@ -40,7 +48,12 @@ from repro.consensus.commands import Command
 from repro.consensus.replica import PaxosReplica
 from repro.dht.scatter import ScatterNode
 
-DEMO_BUGS = ("quorum-off-by-one", "forgotten-promise", "repair-race")
+DEMO_BUGS = (
+    "quorum-off-by-one",
+    "forgotten-promise",
+    "repair-race",
+    "stale-follower-read",
+)
 
 
 def _buggy_majority(self) -> int:
@@ -59,11 +72,16 @@ def _raced_repair_migrate(self, replica, node, donor):
     yield  # unreachable — keeps this a generator like the original
 
 
+def _skip_conflict_window(self, key) -> bool:
+    return True  # "the prefix covers the frontier, what could be in flight?"
+
+
 # name -> (class, attribute, replacement)
 _PATCHES = {
     "quorum-off-by-one": (PaxosReplica, "_majority", _buggy_majority),
     "forgotten-promise": (PaxosReplica, "_persist_promise", _forgotten_promise),
     "repair-race": (ScatterNode, "_repair_migrate_proc", _raced_repair_migrate),
+    "stale-follower-read": (PaxosReplica, "_fr_conflict_free", _skip_conflict_window),
 }
 
 

@@ -119,6 +119,12 @@ class FuzzPlan:
     pipeline_depth: int = 0
     accept_coalescing: bool = False
     fsync_coalesce: float = 0.0
+    # Scale-out read path: linearizable follower reads plus round-robin
+    # client read routing.  Sampled plans flip it on about half the
+    # time so the fuzzer polices the grant/quorum-expansion protocol
+    # under every fault kind; old repro files deserialize to False and
+    # replay exactly as recorded.
+    follower_reads: bool = False
 
     @property
     def n_nodes(self) -> int:
@@ -295,6 +301,11 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
     accept_coalescing = wp.random() < 0.5
     fsync_coalesce = wp.choice([0.0, 0.0, 0.001, 0.002, 0.005])
 
+    # Same trick for the read-path knob: its own derived stream, so the
+    # write-path draws above (and every existing plan) are unchanged.
+    fr = random.Random(_stable_hash(f"followerreads:{seed}"))
+    follower_reads = fr.random() < 0.5
+
     return FuzzPlan(
         master_seed=master_seed,
         iteration=iteration,
@@ -313,6 +324,7 @@ def sample_plan(master_seed: int, iteration: int) -> FuzzPlan:
         pipeline_depth=pipeline_depth,
         accept_coalescing=accept_coalescing,
         fsync_coalesce=fsync_coalesce,
+        follower_reads=follower_reads,
     )
 
 
@@ -341,6 +353,7 @@ def plan_to_dict(plan: FuzzPlan) -> dict[str, Any]:
         "pipeline_depth": plan.pipeline_depth,
         "accept_coalescing": plan.accept_coalescing,
         "fsync_coalesce": plan.fsync_coalesce,
+        "follower_reads": plan.follower_reads,
     }
 
 
@@ -368,4 +381,5 @@ def plan_from_dict(data: dict[str, Any]) -> FuzzPlan:
         pipeline_depth=data.get("pipeline_depth", 0),
         accept_coalescing=data.get("accept_coalescing", False),
         fsync_coalesce=data.get("fsync_coalesce", 0.0),
+        follower_reads=data.get("follower_reads", False),
     )

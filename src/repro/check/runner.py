@@ -20,7 +20,7 @@ from repro.check.monitor import InvariantMonitor
 from repro.check.plan import FuzzPlan
 from repro.check.schedule import ScheduleRunner
 from repro.check.workload import ScriptedWorkload
-from repro.dht.client import ScatterClient
+from repro.dht.client import ClientConfig, ScatterClient
 from repro.dht.system import ScatterSystem
 from repro.faults.target import FaultTarget
 from repro.harness.builders import EXPERIMENT_PAXOS, experiment_scatter_config
@@ -100,6 +100,7 @@ def run_plan(plan: FuzzPlan, bug: str | None = None) -> FuzzOutcome:
                     batch=plan.batching,
                     pipeline_depth=plan.pipeline_depth,
                     accept_coalescing=plan.accept_coalescing,
+                    follower_reads=plan.follower_reads,
                 ),
                 storage=(
                     StorageConfig(fsync_coalesce=plan.fsync_coalesce)
@@ -109,8 +110,19 @@ def run_plan(plan: FuzzPlan, bug: str | None = None) -> FuzzOutcome:
             ),
             policy=policy,
         )
+        # Follower-read plans route Gets round-robin across members so the
+        # scripted workload actually exercises the follower serve path.
+        client_config = (
+            ClientConfig(read_routing="round_robin") if plan.follower_reads else None
+        )
         clients = [
-            ScatterClient(f"c{i}", sim, net, seed_provider=system.alive_node_ids)
+            ScatterClient(
+                f"c{i}",
+                sim,
+                net,
+                seed_provider=system.alive_node_ids,
+                config=client_config,
+            )
             for i in range(plan.n_clients)
         ]
         target = FaultTarget.for_system(system)

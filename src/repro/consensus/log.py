@@ -129,6 +129,22 @@ class PaxosLog:
                 out.append((slot, e.accepted_ballot, e.accepted_value))
         return out
 
+    def pending_values(self, from_slot: int) -> list[Any]:
+        """Values of accepted *or* chosen entries at or after ``from_slot``.
+
+        The follower-read local conflict window: everything this
+        replica knows may commit (or has committed) above its applied
+        prefix, whether learned through an Accept or through catch-up.
+        """
+        out = []
+        for slot in sorted(self._entries):
+            if slot < from_slot:
+                continue
+            e = self._entries[slot]
+            if e.chosen or e.accepted_ballot is not None:
+                out.append(e.accepted_value)
+        return out
+
     def commit_window(self, tail: int) -> tuple[int, int]:
         """[lo, hi] slot bounds of the last ``tail`` committed slots.
 

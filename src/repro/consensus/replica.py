@@ -133,6 +133,16 @@ class PaxosConfig:
     # per-slot network deliveries on the pipelined hot path.  Off by
     # default (historical per-slot messages).
     accept_coalescing: bool = False
+    # Linearizable follower reads (scale-out read path).  The leader
+    # piggybacks per-member read grants plus its commit frontier and
+    # in-flight write set on heartbeats; a granted follower serves a
+    # read locally when its applied prefix covers the frontier and no
+    # in-flight write overlaps the key, else it bounces to the leader.
+    # Safety rests on quorum expansion: while a member's grant is live
+    # the leader will not choose any write that member has not
+    # accepted (see docs/PROTOCOLS.md, "Life of a read").  Off by
+    # default; defaults are byte-identical to the leader-only path.
+    follower_reads: bool = False
 
     def __post_init__(self) -> None:
         if self.lease_duration >= self.election_timeout:
@@ -150,6 +160,14 @@ class _PendingSlot:
     # Open repro.obs span covering this slot's accept round(s); None when
     # tracing is off.
     span: Any = None
+    # Does the command write any key?  Only computed (and consulted)
+    # with follower reads on: write-bearing slots are chosen under the
+    # expanded quorum (majority plus every live read grantee).
+    write: bool = False
+
+
+# Shared empty key set for write classifiers and conflict windows.
+_NO_KEYS: frozenset = frozenset()
 
 
 class PaxosReplica:
@@ -167,6 +185,7 @@ class PaxosReplica:
         restore_fn: Callable[[Any], None] | None = None,
         storage: ReplicaStorage | None = None,
         reset_fn: Callable[[], None] | None = None,
+        write_keys_fn: Callable[[Command], tuple[frozenset, bool]] | None = None,
     ) -> None:
         # A replica whose id is not (yet) in ``members`` is a *learner*:
         # it accepts and applies but never campaigns.  This is how a
@@ -238,6 +257,20 @@ class PaxosReplica:
         self._accept_outbox: list[int] = []
         self._accept_flush_pending = False
 
+        # Follower reads.  ``write_keys_fn`` classifies a command's
+        # write set as ``(keys, wildcard)``; without one every command
+        # is conservatively a wildcard write.  Leader side: ``_grants``
+        # maps member -> read-grant expiry (the quorum-expansion
+        # obligation).  Follower side (``_fr_*``): the grant and
+        # conflict window from the last granting heartbeat.  All
+        # volatile; empty/inert while ``config.follower_reads`` is off.
+        self.write_keys_fn = write_keys_fn
+        self._grants: dict[str, float] = {}
+        self._fr_grant_until = -1.0
+        self._fr_frontier = -1
+        self._fr_dirty: frozenset = _NO_KEYS
+        self._fr_dirty_all = False
+
         # Campaign state.
         self._campaigning = False
         self._campaign_promises: dict[str, Promise] = {}
@@ -265,6 +298,7 @@ class PaxosReplica:
         self._reset_leader_state(fail_with=ProposalLost("host restarted"))
         self._end_election_span("aborted")
         self._campaigning = False
+        self._reset_follower_read_state()
         if self.storage is not None:
             self._recover_from_storage()
         self.last_leader_contact = self.transport.now
@@ -507,6 +541,14 @@ class PaxosReplica:
             timer.cancel()
         self._accept_outbox.clear()
         self._accept_flush_pending = False
+        self._grants.clear()
+
+    def _reset_follower_read_state(self) -> None:
+        """Drop the local read grant and conflict window (all volatile)."""
+        self._fr_grant_until = -1.0
+        self._fr_frontier = -1
+        self._fr_dirty = _NO_KEYS
+        self._fr_dirty_all = False
 
     def retire(self) -> None:
         """Leave the group permanently (removed by reconfiguration)."""
@@ -516,6 +558,7 @@ class PaxosReplica:
         self._reset_leader_state(fail_with=NotLeader(self.leader_hint))
         self._end_election_span("retired")
         self._campaigning = False
+        self._reset_follower_read_state()
 
     # ------------------------------------------------------------------
     # Public API (called by the group layer on this replica's host)
@@ -621,6 +664,63 @@ class PaxosReplica:
     @property
     def lease_active(self) -> bool:
         return self.is_leader and self._lease_valid()
+
+    def follower_read_allowed(self, key: Any) -> bool:
+        """Can this (non-leader) replica serve a linearizable read of ``key``?
+
+        All of the following must hold (docs/PROTOCOLS.md, "Life of a
+        read"): follower reads are on; this replica is an ordinary
+        follower (not leader, retired, or amnesiac); the leader's read
+        grant is live; the applied prefix covers the granted commit
+        frontier; and no in-flight write overlaps the key — neither in
+        the leader-advertised dirty set nor accepted locally above the
+        applied prefix.  Any failed condition means *bounce to the
+        leader*, never a wrong answer.
+        """
+        if (
+            not self.config.follower_reads
+            or self.is_leader
+            or self.retired
+            or self.amnesiac
+        ):
+            return False
+        if self.transport.now >= self._fr_grant_until:
+            return False
+        if self.applied_index < self._fr_frontier:
+            return False
+        return self._fr_conflict_free(key)
+
+    def _fr_conflict_free(self, key: Any) -> bool:
+        """The conflict-window check: does no in-flight write cover ``key``?
+
+        Two windows are consulted.  The *advertised* window
+        (``_fr_dirty``) is the leader's in-flight write set from the
+        granting heartbeat — advance notice that a write is coming.
+        The *local* window is every accepted-or-chosen log entry above
+        the applied prefix: quorum expansion guarantees any write that
+        commits while our grant is live was accepted here first, so a
+        clean local window proves the applied prefix is read-current.
+        The ``stale-follower-read`` demo bug patches this method out.
+        """
+        if self._fr_dirty_all or key in self._fr_dirty:
+            return False
+        for value in self.log.pending_values(self.applied_index + 1):
+            keys, wildcard = self._command_writes(value)
+            if wildcard or key in keys:
+                return False
+        return True
+
+    def _command_writes(self, command: Command) -> tuple[frozenset, bool]:
+        """``(keys, wildcard)`` the command may write, via ``write_keys_fn``.
+
+        Without a classifier every command is conservatively a wildcard
+        write, so consensus-only deployments stay safe (follower reads
+        bounce whenever anything is in flight).
+        """
+        fn = self.write_keys_fn
+        if fn is None:
+            return (_NO_KEYS, True)
+        return fn(command)
 
     def leadership_view(self) -> dict:
         """Read-only leadership snapshot for invariant checkers.
@@ -829,6 +929,16 @@ class PaxosReplica:
         self._pending.clear()
         self._hb_acks.clear()
         self.member_last_ack = {m: self.transport.now for m in self.members}
+        if self.config.follower_reads:
+            # Conservative grant horizon: a previous leader may hold
+            # grants we cannot see, and none can outlive the lease that
+            # was live when it was issued (the lease-guard majority
+            # intersects our promise majority, bounding issue time by
+            # now).  Until the horizon passes, write commits wait for
+            # every member's accept or the horizon itself.
+            horizon = self.transport.now + self.config.lease_duration
+            self._grants = {m: horizon for m in self.members if m != self.replica_id}
+            self._reset_follower_read_state()
         # Merge accepted suffixes from promises: highest ballot wins per slot.
         best: dict[int, tuple[Ballot, Command]] = {}
         max_slot = self.log.commit_index
@@ -893,6 +1003,9 @@ class PaxosReplica:
 
     def _send_accepts(self, slot: int, command: Command) -> None:
         pending = _PendingSlot(command=command)
+        if self.config.follower_reads:
+            keys, wildcard = self._command_writes(command)
+            pending.write = wildcard or bool(keys)
         if self.tracer is not None:
             self.tracer.metrics.inc("paxos.accept_rounds")
             pending.span = self.tracer.begin(
@@ -1066,19 +1179,41 @@ class PaxosReplica:
         if pending is None or src not in self.members:
             return
         pending.acks.add(src)
-        if len(pending.acks) >= self._majority():
-            del self._pending[slot]
-            self._retry_delay = None
-            if self.tracer is not None:
-                self.tracer.metrics.inc("paxos.slots_chosen")
-                if pending.span is not None and pending.span.open:
-                    self.tracer.finish(pending.span, outcome="chosen")
-            self.log.mark_chosen(slot, pending.command)
-            self._apply_committed()
-            if self._barrier_slot == slot:
-                pass  # cleared in _apply_committed once the config applies
-            self._drain_backlog()
-            self._after_commit_progress()
+        self._maybe_choose(slot, pending)
+
+    def _grant_blocked(self, pending: _PendingSlot) -> bool:
+        """Quorum expansion: is a live read grantee still missing?
+
+        A write-bearing slot is not chosen while any member holds a
+        live grant and has not accepted the slot — otherwise that
+        member could serve a read that misses the write.  A grantee
+        that cannot ack (crashed, partitioned, or removed from the
+        configuration) blocks the slot only until its grant expires, at
+        most one lease_duration; the heartbeat tick's sweep unblocks.
+        """
+        now = self.transport.now
+        for member, until in self._grants.items():
+            if now < until and member not in pending.acks:
+                return True
+        return False
+
+    def _maybe_choose(self, slot: int, pending: _PendingSlot) -> None:
+        if len(pending.acks) < self._majority():
+            return
+        if self._grants and pending.write and self._grant_blocked(pending):
+            return
+        del self._pending[slot]
+        self._retry_delay = None
+        if self.tracer is not None:
+            self.tracer.metrics.inc("paxos.slots_chosen")
+            if pending.span is not None and pending.span.open:
+                self.tracer.finish(pending.span, outcome="chosen")
+        self.log.mark_chosen(slot, pending.command)
+        self._apply_committed()
+        if self._barrier_slot == slot:
+            pass  # cleared in _apply_committed once the config applies
+        self._drain_backlog()
+        self._after_commit_progress()
 
     def _after_commit_progress(self) -> None:
         if not self.is_leader:
@@ -1126,15 +1261,104 @@ class PaxosReplica:
         if len(self._hb_acks) > 64:
             for stale in sorted(self._hb_acks)[:-64]:
                 del self._hb_acks[stale]
-        hb = Heartbeat(ballot=self.ballot, commit_index=self.log.commit_index, send_time=now)
-        for member in self.members:
-            if member != self.replica_id:
-                self.transport.send(member, hb)
+        if self.config.follower_reads:
+            self._send_granting_heartbeats(now)
+        else:
+            hb = Heartbeat(ballot=self.ballot, commit_index=self.log.commit_index, send_time=now)
+            for member in self.members:
+                if member != self.replica_id:
+                    self.transport.send(member, hb)
         if len(self.members) == 1:
             self._lease_until = now + self.config.lease_duration
         if self.tracer is not None:
             self.tracer.metrics.inc("paxos.heartbeats")
         self.transport.set_timer(self.config.heartbeat_interval, self._heartbeat_tick, ballot)
+
+    # Cap on piggybacked dirty keys: a leader with a deeper write
+    # pipeline than this advertises a wildcard conflict window instead,
+    # keeping heartbeats O(1) under saturation (followers bounce reads,
+    # the honest answer when the leader is write-saturated).
+    _DIRTY_KEY_CAP = 32
+
+    def _send_granting_heartbeats(self, now: float) -> None:
+        """Follower-reads heartbeat fan-out: per-member read grants.
+
+        A member is granted only while the leader's own lease is live
+        (so a deposed leader cannot mint grants the new leader's
+        conservative horizon would not cover) and the member's last ack
+        is fresh, so a crashed or partitioned member stops being
+        granted within one lease.  Granting records the obligation in
+        ``_grants`` — the quorum-expansion half of the safety argument.
+        """
+        lease_live = now < self._lease_until
+        dirty_keys, dirty_all = self._inflight_write_keys()
+        expiry = now + self.config.lease_duration
+        for member in self.members:
+            if member == self.replica_id:
+                continue
+            last = self.member_last_ack.get(member, self.last_leader_contact)
+            grant = lease_live and now - last <= self.config.lease_duration
+            if grant and expiry > self._grants.get(member, -1.0):
+                self._grants[member] = expiry
+            self.transport.send(
+                member,
+                Heartbeat(
+                    ballot=self.ballot,
+                    commit_index=self.log.commit_index,
+                    send_time=now,
+                    read_grant=grant,
+                    dirty_keys=dirty_keys,
+                    dirty_all=dirty_all,
+                ),
+            )
+        for member in [m for m, until in self._grants.items() if until <= now]:
+            del self._grants[member]
+        self._sweep_granted_slots()
+
+    def _inflight_write_keys(self) -> tuple[tuple, bool]:
+        """Keys of writes in flight at this leader (the conflict window).
+
+        Covers every stage a write can be parked in: unchosen slots,
+        the admission queue, the batch buffer, and the recovered
+        backlog.  Returns ``(keys, wildcard)``; wildcard means "treat
+        every key as dirty" (no classifier, or past the key cap).
+        """
+        keys: set = set()
+        for command in self._iter_inflight_commands():
+            ks, wildcard = self._command_writes(command)
+            if wildcard:
+                return ((), True)
+            keys.update(ks)
+            if len(keys) > self._DIRTY_KEY_CAP:
+                return ((), True)
+        return (tuple(sorted(keys, key=repr)), False)
+
+    def _iter_inflight_commands(self):
+        for pending in self._pending.values():
+            yield pending.command
+        for command, _future in self._queue:
+            yield command
+        for command, _future in self._batch_buffer:
+            yield command
+        for _slot, command in self._backlog:
+            yield command
+
+    def _sweep_granted_slots(self) -> None:
+        """Re-evaluate pending slots blocked only on read grants.
+
+        A grant expiring is commit progress the Accepted handlers never
+        see, so each heartbeat tick re-checks: a slot with a majority
+        of acks whose last live non-acking grantee just expired is
+        chosen here.
+        """
+        if not self._pending:
+            return
+        for slot in sorted(self._pending):
+            if not self.is_leader:
+                return  # choosing can cascade into retirement/step-down
+            pending = self._pending.get(slot)
+            if pending is not None:
+                self._maybe_choose(slot, pending)
 
     def _on_heartbeat(self, src: str, msg: Heartbeat) -> None:
         self._note_ballot(msg.ballot)
@@ -1154,6 +1378,17 @@ class PaxosReplica:
             src,
             HeartbeatAck(ballot=msg.ballot, send_time=msg.send_time, applied_index=self.applied_index),
         )
+        if self.config.follower_reads:
+            if msg.read_grant:
+                self._fr_grant_until = msg.send_time + self.config.lease_duration
+                self._fr_frontier = msg.commit_index
+                self._fr_dirty = frozenset(msg.dirty_keys) if msg.dirty_keys else _NO_KEYS
+                self._fr_dirty_all = msg.dirty_all
+            else:
+                # The leader stopped granting (its own lease lapsed, or
+                # our acks went stale); drop ours early — conservative,
+                # and converges faster than waiting out the expiry.
+                self._fr_grant_until = -1.0
         self._learn_commit_index(src, msg.ballot, msg.commit_index)
 
     def _on_heartbeat_ack(self, src: str, msg: HeartbeatAck) -> None:

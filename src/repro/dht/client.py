@@ -35,10 +35,20 @@ class ClientConfig:
     # deployments); recursion depth per request below.
     routing: str = "iterative"
     recursive_ttl: int = 8
+    # Replica-aware read routing (the scale-out read path; pair with
+    # PaxosConfig.follower_reads).  "leader" sends Gets to the leader
+    # hint as always; "round_robin" rotates them across the cached
+    # group members; "nearest" picks the member with the lowest
+    # expected link latency.  A follower that cannot serve bounces
+    # ``not_leader`` and the client falls back to the leader, so any
+    # mode is safe with follower reads off — just one hop slower.
+    read_routing: str = "leader"
 
     def __post_init__(self) -> None:
         if self.routing not in ("iterative", "recursive"):
             raise ValueError(f"bad routing mode {self.routing}")
+        if self.read_routing not in ("leader", "round_robin", "nearest"):
+            raise ValueError(f"bad read_routing mode {self.read_routing}")
 
 
 @dataclass
@@ -92,6 +102,7 @@ class ScatterClient(Node):
         self.records: list[OpRecord] = []
         self._seq = 0
         self._rng = sim.rng(f"client:{client_id}")
+        self._rr_next = 0  # round-robin read cursor (deterministic, no RNG)
 
     # ------------------------------------------------------------------
     # Public API
@@ -155,6 +166,8 @@ class ScatterClient(Node):
         info = self._best_info(op.key)
         target = info.leader_hint if info is not None else self._seed()
         backups: list[str] = list(info.members) if info is not None else []
+        if op.op == OP_GET and info is not None:
+            target = self._read_target(info) or target
         visits: dict[str, int] = {}
         while self.sim.now < deadline and record.hops < self.config.max_hops:
             if target is None:
@@ -221,6 +234,26 @@ class ScatterClient(Node):
         record.response_time = self.sim.now
         record.result = KvResult(ok=False, error="timeout")
         return record.result
+
+    def _read_target(self, info: GroupInfo) -> str | None:
+        """Replica-aware read routing: which member to ask a Get first.
+
+        ``leader`` (default) returns ``None`` — the caller uses the
+        leader hint, byte-identical to the historical path.
+        ``round_robin`` rotates Gets across the cached members;
+        ``nearest`` picks the member with the lowest expected link
+        latency (ties broken by id for determinism).  A member that
+        cannot serve locally answers ``not_leader`` and the routing
+        loop falls back to its leader hint.
+        """
+        mode = self.config.read_routing
+        if mode == "leader" or not info.members:
+            return None
+        if mode == "round_robin":
+            self._rr_next += 1
+            return info.members[self._rr_next % len(info.members)]
+        latency = self.net.latency
+        return min(info.members, key=lambda m: (latency.expected(self.node_id, m), m))
 
     def _next_target(self, backups: list[str], exclude: str | None) -> str | None:
         while backups:

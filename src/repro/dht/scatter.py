@@ -325,6 +325,13 @@ class ScatterNode(Node):
             if replica.status is GroupStatus.FROZEN:
                 return ClientOpResp(status="busy")
             if not replica.is_leader:
+                # Scale-out read path: a follower with a live read grant
+                # serves the Get from its applied store state
+                # (PaxosConfig.follower_reads); otherwise bounce the
+                # client to the leader as before.
+                local = replica.follower_read(msg.op)
+                if local is not None:
+                    return _map_future(local, self._client_result_to_resp)
                 return ClientOpResp(
                     status="not_leader",
                     leader_hint=replica.paxos.leader_hint,

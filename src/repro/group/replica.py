@@ -6,14 +6,14 @@ import enum
 from collections import Counter
 from typing import Any, Protocol
 
-from repro.consensus.commands import Command
+from repro.consensus.commands import CMD_BATCH, CMD_CONFIG, CMD_NOOP, CMD_READ, Command
 from repro.consensus.replica import PaxosConfig, PaxosReplica
 from repro.consensus.transport import Transport
 from repro.dht.ring import KeyRange
 from repro.group.commands import TxnAbortCmd, TxnCommitCmd
 from repro.group.info import GroupGenesis, GroupInfo
 from repro.net.futures import Future
-from repro.obs.spans import GROUP_FREEZE
+from repro.obs.spans import GROUP_FOLLOWER_READ, GROUP_FREEZE
 from repro.store.kvstore import KvOp, KvResult, KvStore, OP_GET, RangeState
 from repro.txn.spec import (
     MergeSpec,
@@ -23,6 +23,9 @@ from repro.txn.spec import (
     TxnDecision,
     TxnSpec,
 )
+
+
+_NO_KEYS: frozenset = frozenset()
 
 
 class GroupStatus(enum.Enum):
@@ -113,6 +116,7 @@ class GroupReplica:
             restore_fn=self.restore,
             storage=storage,
             reset_fn=self.reset_to_genesis,
+            write_keys_fn=self._command_write_keys,
         )
         # repro.obs tracer shared with the Paxos replica (None = off).
         self.tracer = self.paxos.tracer
@@ -175,6 +179,8 @@ class GroupReplica:
         tracer = self.tracer
         if tracer is not None:
             tracer.metrics.inc("group.ops")
+            if op.op == OP_GET:
+                tracer.metrics.inc("reads.leader")
         if op.op == OP_GET and self.paxos.config.lease_reads and self.paxos.lease_active:
             if tracer is not None:
                 tracer.metrics.inc("group.lease_reads")
@@ -197,6 +203,70 @@ class GroupReplica:
             if self.tracer is not None:
                 self.tracer.metrics.observe("group.commit_latency", latency)
 
+    # ------------------------------------------------------------------
+    # Client operations (follower side)
+    # ------------------------------------------------------------------
+    def follower_read(self, op: KvOp) -> Future | None:
+        """Serve a Get locally at a follower, or ``None`` to bounce.
+
+        The scale-out read path (``PaxosConfig.follower_reads``): a
+        non-leader replica answers from its applied store state when the
+        consensus layer proves the read linearizable — live read grant,
+        applied prefix past the granted commit frontier, and no
+        in-flight write overlapping the key (see
+        :meth:`PaxosReplica.follower_read_allowed`).  Anything else
+        returns ``None`` and the node bounces the client to the leader.
+        Never proposes, never sends a message; with the knob off it
+        returns ``None`` immediately.
+        """
+        paxos = self.paxos
+        if not paxos.config.follower_reads or op.op != OP_GET:
+            return None
+        tracer = self.tracer
+        if not paxos.follower_read_allowed(op.key):
+            if tracer is not None:
+                tracer.metrics.inc("reads.bounced")
+            return None
+        if tracer is not None:
+            tracer.metrics.inc("reads.follower")
+            span = tracer.begin(
+                GROUP_FOLLOWER_READ,
+                gid=self.gid,
+                replica=self.paxos.replica_id,
+                key=op.key,
+            )
+            tracer.finish(span, outcome="served")
+        future = Future()
+        future.set_result(self.store.get(op.key))
+        return future
+
+    def _command_write_keys(self, command: Command) -> tuple[frozenset, bool]:
+        """Classify a log command's write set for the conflict window.
+
+        Returns ``(keys, wildcard)``: the keys the command writes, or a
+        wildcard for commands that can touch arbitrary keys.  Storage
+        mutations name their key; reads, no-ops, and membership changes
+        write nothing; structural transaction records (freeze, split,
+        merge, migrate) are wildcards — a follower that has not applied
+        them yet must not serve any key they might move.
+        """
+        kind = command.kind
+        if kind == "app":
+            op = command.payload
+            if op.op == OP_GET:
+                return (_NO_KEYS, False)
+            return (frozenset((op.key,)), False)
+        if kind == CMD_BATCH:
+            keys: set = set()
+            for sub in command.payload:
+                sub_keys, wildcard = self._command_write_keys(sub)
+                if wildcard:
+                    return (_NO_KEYS, True)
+                keys |= sub_keys
+            return (frozenset(keys), False)
+        if kind in (CMD_READ, CMD_NOOP, CMD_CONFIG):
+            return (_NO_KEYS, False)
+        return (_NO_KEYS, True)  # txn_prepare / txn_commit / txn_abort
 
     # ------------------------------------------------------------------
     # Snapshots (log compaction and fast member bootstrap)

@@ -1,4 +1,4 @@
-"""Experiment entry points E1–E18 (see DESIGN.md for the index).
+"""Experiment entry points E1–E20 (see DESIGN.md for the index).
 
 Every function returns an :class:`ExperimentResult` whose rows are the
 series the corresponding figure/table in the paper plots.  ``quick=True``
@@ -1412,6 +1412,99 @@ def run_e19(quick: bool = True, seed: int = 19) -> ExperimentResult:
     return result
 
 
+def run_e20(quick: bool = True, seed: int = 20) -> ExperimentResult:
+    """Read scale-out: follower reads vs leader-only, by replica count.
+
+    One group whose size is the swept variable, a read-heavy closed
+    loop, and a per-operation CPU cost at the serving node: leader-only
+    reads saturate one CPU no matter how many replicas the group has,
+    while follower reads (round-robin routing) spread Gets across all
+    of them.  Every cell runs the linearizability checker — the scaling
+    must come at an unchanged consistency bar.
+    """
+    result = ExperimentResult(
+        experiment="E20",
+        title="E20: read throughput vs replica count — follower reads vs leader-only",
+        columns=[
+            "replicas", "follower_reads", "ops_per_s", "reads_per_s",
+            "read_x", "p50_ms", "p99_ms", "violations",
+        ],
+        notes=(
+            "single group, 90% reads, closed loop, 2 ms CPU per op at the "
+            "serving node: leader-only Gets queue on one CPU; with "
+            "follower_reads on and round_robin routing they spread across "
+            "all replicas.  read_x is read throughput relative to the "
+            "leader-only cell at the same replica count (writes still "
+            "serialize through the leader either way)"
+        ),
+    )
+    replica_counts = [1, 3, 5] if quick else [1, 3, 5, 7]
+    duration = 8.0 if quick else 20.0
+    n_clients = 24 if quick else 48
+    baseline_reads: dict[int, float] = {}
+    for replicas in replica_counts:
+        for follower_reads in (False, True):
+            paxos = PaxosConfig(
+                heartbeat_interval=0.15,
+                election_timeout=0.7,
+                lease_duration=0.5,
+                retry_interval=0.4,
+                compact_threshold=400,
+                follower_reads=follower_reads,
+            )
+            config = experiment_scatter_config(paxos=paxos)
+            config.op_service_time = 0.002
+            policy = ScatterPolicy(
+                target_size=replicas,
+                split_size=2 * replicas + 1,
+                merge_size=max(1, replicas - 2),
+            )
+            params = DeploymentParams(
+                n_nodes=replicas, n_groups=1, n_clients=n_clients, seed=seed
+            )
+            deployment = build_scatter_deployment(
+                params,
+                policy=policy,
+                config=config,
+                client_config=ClientConfig(
+                    read_routing="round_robin" if follower_reads else "leader"
+                ),
+            )
+            sim = deployment.sim
+            workload = ClosedLoopWorkload(
+                sim, deployment.clients, UniformKeys(40), read_fraction=0.9, think_time=0.0
+            )
+            workload.start()
+            sim.run_for(3.0)
+            start = sim.now
+            sim.run_for(duration)
+            workload.stop()
+            sim.run_for(1.0)
+            records = workload.all_records()
+            metrics = workload_metrics(records, window=(start, start + duration))
+            reads_per_s = (
+                sum(
+                    1
+                    for r in records
+                    if r.op == "get" and r.completed and start <= r.response_time <= start + duration
+                )
+                / duration
+            )
+            if not follower_reads:
+                baseline_reads[replicas] = max(reads_per_s, 1e-9)
+            result.add(
+                replicas=replicas,
+                follower_reads=follower_reads,
+                ops_per_s=metrics["completed"] / duration,
+                reads_per_s=reads_per_s,
+                read_x=reads_per_s / baseline_reads[replicas],
+                p50_ms=1000 * metrics["latency_p50"],
+                p99_ms=1000 * metrics["latency_p99"],
+                violations=metrics["violations"],
+            )
+    return result
+
+
 EXPERIMENT_TITLES = {
     "E1": "inconsistent lookups in a Chord-style DHT vs churn (motivation)",
     "E2": "linearizability violations, Scatter vs Chord, under churn (headline)",
@@ -1432,6 +1525,7 @@ EXPERIMENT_TITLES = {
     "E17": "crash recovery cost vs snapshot threshold (durable storage)",
     "E18": "data survival under permanent node loss (self-healing vs baselines)",
     "E19": "write-path saturation: batching x pipelining x fsync coalescing",
+    "E20": "read scale-out: follower reads vs leader-only, by replica count",
 }
 
 def _with_wall_clock(fn):
@@ -1476,6 +1570,7 @@ ALL_EXPERIMENTS = {
         "E17": run_e17,
         "E18": run_e18,
         "E19": run_e19,
+        "E20": run_e20,
     }.items()
 }
 

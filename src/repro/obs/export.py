@@ -187,6 +187,13 @@ def render_breakdown(tracer: Tracer) -> str:
         f"  reads via lease:   {_num(lease)}  via log {_num(logged)}"
         f"  (lease hit rate {_pct(lease, lease + logged)})"
     )
+    follower = m.counter("reads.follower")
+    bounced = m.counter("reads.bounced")
+    if follower or bounced:
+        lines.append(
+            f"  follower reads:    {_num(follower)}  bounced {_num(bounced)}"
+            f"  (serve rate {_pct(follower, follower + bounced)})"
+        )
 
     # ---- group operations (2PC) -----------------------------------------
     lines.append("")

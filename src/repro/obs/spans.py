@@ -40,6 +40,11 @@ TXN_COMMIT = "txn.commit"
 # 2PC phase 2: best-effort commit notifications to remote participants.
 TXN_NOTIFY = "txn.notify"
 
+# One Get served locally at a follower under a live read grant
+# (PaxosConfig.follower_reads).  Emitted by repro.group.replica; bounced
+# follower reads emit only the reads.bounced counter, no span.
+GROUP_FOLLOWER_READ = "group.follower_read"
+
 ALL_SPAN_KINDS = (
     CLIENT_OP,
     PAXOS_ELECTION,
@@ -49,4 +54,5 @@ ALL_SPAN_KINDS = (
     TXN_PREPARE,
     TXN_COMMIT,
     TXN_NOTIFY,
+    GROUP_FOLLOWER_READ,
 )

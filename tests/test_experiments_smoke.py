@@ -1,6 +1,6 @@
 """Smoke sweep: every registered experiment runs in quick mode.
 
-A thin well-formedness gate over the whole E1-E17 registry: each
+A thin well-formedness gate over the whole E1-E20 registry: each
 experiment must return an :class:`ExperimentResult` with rows, columns
 that cover the rows, and wall-clock perf populated by the harness
 wrapper.  Marked slow — the sweep takes about half a minute and CI's

@@ -10,7 +10,7 @@ load-bearing properties:
 2. with repair off the group stays degraded — the refill really is the
    repair loop, not some other maintenance path;
 3. with no faults at all, flipping ``repair`` on changes *nothing*
-   client-visible (the zero-perturbation guard for E1-E17).
+   client-visible (the zero-perturbation guard for the experiment suite).
 
 Plus the :class:`GroupQuorumWatch` verdict logic the harness uses to
 tell "permanently below quorum" from a transient dip.
