@@ -1,0 +1,36 @@
+"""E18: data survival under permanent node loss (self-healing vs baselines).
+
+Unlike the transient-churn experiments, every departure here is a
+crashed machine with a wiped disk; replacement capacity joins at the
+loss rate.  Survival therefore measures the *re-replication race*:
+Scatter's repair loop (pull-in migrates through the Paxos log) and the
+Zave-hardened Chord baseline must keep pre-storm keys readable, while
+naive Chord — which never re-replicates — bleeds them.
+"""
+
+from conftest import run_once, save_result
+from repro.harness.experiments import run_e18
+
+
+def test_e18_repair(benchmark):
+    result = run_once(benchmark, lambda: run_e18(quick=True))
+    save_result(result)
+    rows = {r["backend"]: r for r in result.rows}
+    assert set(rows) == {"scatter+repair", "chord+zave", "chord"}
+    # The storm actually happened, and replacements arrived.
+    assert all(r["losses"] > 10 for r in rows.values())
+    assert all(r["joins"] > 0 for r in rows.values())
+    # Self-healing keeps every group above quorum: no group permanently
+    # lost a majority, so no arc of the keyspace went dark.
+    assert rows["scatter+repair"]["dead_groups"] == 0
+    # The survival claim: active re-replication (Scatter repair, Zave
+    # replica maintenance) loses no more keys than the naive baseline,
+    # and the naive baseline demonstrably loses some — losing data is
+    # what makes the race real.
+    assert rows["scatter+repair"]["keys_lost"] <= rows["chord"]["keys_lost"]
+    assert rows["chord+zave"]["keys_lost"] <= rows["chord"]["keys_lost"]
+    assert rows["chord"]["keys_lost"] > 0
+    assert rows["scatter+repair"]["keys_lost"] == 0
+    # The system stayed available to the foreground workload throughout.
+    assert all(r["availability"] > 0.9 for r in rows.values())
+    assert all(r["ops"] > 100 for r in rows.values()), "workload actually ran"

@@ -9,4 +9,33 @@
 # Usage: scripts/check_perf.sh [extra `repro perf` flags]
 set -e
 cd "$(dirname "$0")/.."
-PYTHONPATH=src exec python -m repro perf --json BENCH_SIM.json --fail-below 0.6 "$@"
+PYTHONPATH=src python -m repro perf --json BENCH_SIM.json --fail-below 0.6 "$@"
+
+# The scale-out microbenchmarks must stay in the report, and their
+# in-process A/B ratios (both paths timed in the same run, so immune to
+# machine-to-machine throughput noise) must hold their floors: pooled
+# direct dispatch beats the unpooled delivery path, and the bisect
+# routing table beats the linear successor scan.
+PYTHONPATH=src python - <<'EOF'
+import json
+import sys
+
+with open("BENCH_SIM.json") as f:
+    report = json.load(f)
+by_name = {b["name"]: b for b in report["benchmarks"]}
+failures = []
+for name in ("ring_lookup_10k", "pooled_send_deliver"):
+    if name not in by_name:
+        failures.append(f"{name} missing from BENCH_SIM.json")
+if "pooled_send_deliver" in by_name:
+    ratio = by_name["pooled_send_deliver"].get("speedup_vs_unpooled", 0.0)
+    if ratio < 1.2:
+        failures.append(f"pooled_send_deliver speedup_vs_unpooled {ratio} < 1.2")
+if "ring_lookup_10k" in by_name:
+    ratio = by_name["ring_lookup_10k"].get("speedup_vs_linear", 0.0)
+    if ratio < 1.5:
+        failures.append(f"ring_lookup_10k speedup_vs_linear {ratio} < 1.5")
+for line in failures:
+    print(f"check_perf: {line}", file=sys.stderr)
+sys.exit(1 if failures else 0)
+EOF

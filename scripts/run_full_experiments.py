@@ -2,11 +2,15 @@
 """Run every experiment at full (paper) scale and save the tables.
 
 Output goes to benchmarks/results/full_eNN.txt; EXPERIMENTS.md records
-these numbers.  Takes tens of minutes of wall-clock time.
+these numbers.  Takes tens of minutes of wall-clock time serially;
+``--workers N`` shards whole experiments across processes via
+``repro.harness.sweep`` — each table is byte-identical to its serial
+run, only the wall-clock footer differs.
 
-Run:  python scripts/run_full_experiments.py [E1 E5 ...]
+Run:  python scripts/run_full_experiments.py [--workers N] [E1 E5 ...]
 """
 
+import argparse
 import os
 import sys
 import time
@@ -18,21 +22,44 @@ from repro.harness.experiments import ALL_EXPERIMENTS
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results")
 
 
+def _save(name: str, rendered: str, elapsed: float) -> None:
+    path = os.path.join(RESULTS_DIR, f"full_{name.lower()}.txt")
+    with open(path, "w") as f:
+        f.write(rendered + "\n")
+        f.write(f"\n(wall clock: {elapsed:.1f}s)\n")
+    print(rendered)
+    print(f"[{name} done in {elapsed:.1f}s]\n", flush=True)
+
+
 def main() -> None:
-    wanted = sys.argv[1:] or sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="e.g. E1 E5 (default: all)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard experiments across N processes")
+    args = parser.parse_args()
+    wanted = args.experiments or sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
+    if unknown:
+        sys.exit(f"unknown experiments: {', '.join(unknown)}")
     os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    if args.workers > 1:
+        from repro.harness.sweep import run_experiments_parallel
+
+        started = time.time()
+        print(f"[{time.strftime('%H:%M:%S')}] running {len(wanted)} experiments "
+              f"(full scale) across {args.workers} workers...", flush=True)
+        for cell in run_experiments_parallel(wanted, quick=False, workers=args.workers):
+            _save(cell.cell.experiment, cell.rendered, cell.perf.get("wall_s", 0.0))
+        print(f"[all done in {time.time() - started:.1f}s wall]", flush=True)
+        return
+
     for name in wanted:
         fn = ALL_EXPERIMENTS[name]
         started = time.time()
         print(f"[{time.strftime('%H:%M:%S')}] running {name} (full scale)...", flush=True)
         result = fn(quick=False)
-        elapsed = time.time() - started
-        path = os.path.join(RESULTS_DIR, f"full_{name.lower()}.txt")
-        with open(path, "w") as f:
-            f.write(result.render() + "\n")
-            f.write(f"\n(wall clock: {elapsed:.1f}s)\n")
-        print(result.render())
-        print(f"[{name} done in {elapsed:.1f}s]\n", flush=True)
+        _save(name, result.render(), time.time() - started)
 
 
 if __name__ == "__main__":

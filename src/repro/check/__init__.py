@@ -11,7 +11,13 @@ Entry points: ``python -m repro fuzz`` (see `repro.cli`) or
 :func:`repro.check.fuzzer.run_fuzz` programmatically.
 """
 
-from repro.check.fuzzer import FuzzConfig, FuzzSummary, replay, run_fuzz
+from repro.check.fuzzer import (
+    FuzzConfig,
+    FuzzSummary,
+    replay,
+    run_fuzz,
+    run_fuzz_sharded,
+)
 from repro.check.invariants import (
     ALL_INVARIANTS,
     CONTINUOUS_INVARIANTS,
@@ -47,6 +53,7 @@ __all__ = [
     "repro_dict",
     "replay",
     "run_fuzz",
+    "run_fuzz_sharded",
     "run_plan",
     "sample_plan",
     "shrink_plan",

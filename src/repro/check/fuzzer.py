@@ -91,40 +91,133 @@ def run_fuzz(config: FuzzConfig) -> FuzzSummary:
         say(_describe(plan, outcome))
 
         if outcome.failed:
-            summary.found = True
-            summary.failing_iteration = iteration
-            final_plan, failure = plan, outcome.failure
-            if config.shrink:
-                say(
-                    f"shrinking: {len(plan.schedule)} faults, {len(plan.ops)} ops "
-                    f"(budget {config.max_shrink_runs} runs)"
-                )
-
-                def still_fails(candidate: FuzzPlan) -> bool:
-                    return run_plan(candidate, bug=config.bug).failed
-
-                final_plan, stats = shrink_plan(
-                    plan, still_fails, max_runs=config.max_shrink_runs
-                )
-                failure = run_plan(final_plan, bug=config.bug).failure or outcome.failure
-                summary.shrink = stats.to_dict()
-                say(
-                    f"shrunk to {len(final_plan.schedule)} faults, "
-                    f"{len(final_plan.ops)} ops in {stats.runs} runs"
-                )
-            summary.failure = failure
-            out_dir = Path(config.out_dir)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            path = out_dir / f"repro-{plan.sim_seed}.json"
-            dump_repro(
-                repro_dict(final_plan, failure, config.bug, shrink=summary.shrink), path
-            )
-            summary.repro_path = str(path)
-            say(f"wrote {path}")
+            _finalize_failure(config, summary, iteration, plan, outcome, say)
             break
 
         iteration += 1
 
+    summary.wall_seconds = time.monotonic() - started
+    return summary
+
+
+def _finalize_failure(
+    config: FuzzConfig,
+    summary: FuzzSummary,
+    iteration: int,
+    plan: FuzzPlan,
+    outcome: FuzzOutcome,
+    say: Callable[[str], None],
+) -> None:
+    """Shrink a failing plan and write its repro file into ``summary``.
+
+    Shared by the serial loop and the sharded runner so a campaign's
+    verdict — failure summary, shrink stats, repro file contents — is
+    identical however the iterations were scheduled.
+    """
+    summary.found = True
+    summary.failing_iteration = iteration
+    final_plan, failure = plan, outcome.failure
+    if config.shrink:
+        say(
+            f"shrinking: {len(plan.schedule)} faults, {len(plan.ops)} ops "
+            f"(budget {config.max_shrink_runs} runs)"
+        )
+
+        def still_fails(candidate: FuzzPlan) -> bool:
+            return run_plan(candidate, bug=config.bug).failed
+
+        final_plan, stats = shrink_plan(
+            plan, still_fails, max_runs=config.max_shrink_runs
+        )
+        failure = run_plan(final_plan, bug=config.bug).failure or outcome.failure
+        summary.shrink = stats.to_dict()
+        say(
+            f"shrunk to {len(final_plan.schedule)} faults, "
+            f"{len(final_plan.ops)} ops in {stats.runs} runs"
+        )
+    summary.failure = failure
+    out_dir = Path(config.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"repro-{plan.sim_seed}.json"
+    dump_repro(
+        repro_dict(final_plan, failure, config.bug, shrink=summary.shrink), path
+    )
+    summary.repro_path = str(path)
+    say(f"wrote {path}")
+
+
+def _fuzz_shard(args: tuple[int, tuple[int, ...], str | None]) -> dict[str, Any]:
+    """Worker entry point: run a strided subset of iterations, no shrinking.
+
+    Plans derive purely from ``(master_seed, iteration)``, so running a
+    subset in a different process changes nothing about what any
+    iteration does.  Stops at the shard's first failure; the parent
+    takes the minimum failing iteration across shards — which is by
+    construction the iteration the serial loop would have stopped at —
+    and re-runs only that one locally to shrink and write the repro.
+    """
+    master_seed, iterations, bug = args
+    tally: dict[str, Any] = {
+        "failing_iteration": None,
+        "iterations_run": 0,
+        "ops_total": 0,
+        "events_total": 0,
+    }
+    for iteration in iterations:
+        plan = sample_plan(master_seed, iteration)
+        outcome = run_plan(plan, bug=bug)
+        tally["iterations_run"] += 1
+        tally["ops_total"] += outcome.ops_total
+        tally["events_total"] += outcome.events
+        if outcome.failed:
+            tally["failing_iteration"] = iteration
+            break
+    return tally
+
+
+def run_fuzz_sharded(config: FuzzConfig, workers: int) -> FuzzSummary:
+    """Shard a fixed-iteration campaign across worker processes.
+
+    Worker ``w`` of ``N`` scans iterations ``w, w+N, w+2N, ...`` in
+    order.  The merged verdict — found / failing iteration / failure /
+    repro file — equals the serial campaign's, because the minimum
+    failing iteration over all shards is exactly the first failing
+    iteration overall.  Only the bookkeeping differs: shards keep
+    running until their own first failure, so ``iterations_run`` /
+    ``ops_total`` may exceed the serial campaign's (which stops at the
+    global first failure).  Wall-clock budgets (``minutes``) are
+    inherently schedule-dependent, so they stay on the serial path.
+    """
+    if workers <= 1 or config.minutes is not None:
+        return run_fuzz(config)
+    say = config.progress or (lambda _line: None)
+    summary = FuzzSummary(master_seed=config.master_seed)
+    started = time.monotonic()
+    shards = [
+        (config.master_seed, tuple(range(w, config.iterations, workers)), config.bug)
+        for w in range(workers)
+        if range(w, config.iterations, workers)
+    ]
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.harness.sweep import _ensure_child_pythonpath
+
+    _ensure_child_pythonpath()
+    ctx = mp.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=len(shards), mp_context=ctx) as pool:
+        tallies = list(pool.map(_fuzz_shard, shards))
+    for tally in tallies:
+        summary.iterations_run += tally["iterations_run"]
+        summary.ops_total += tally["ops_total"]
+        summary.events_total += tally["events_total"]
+    failing = [t["failing_iteration"] for t in tallies if t["failing_iteration"] is not None]
+    if failing:
+        iteration = min(failing)
+        plan = sample_plan(config.master_seed, iteration)
+        outcome = run_plan(plan, bug=config.bug)
+        say(_describe(plan, outcome))
+        _finalize_failure(config, summary, iteration, plan, outcome, say)
     summary.wall_seconds = time.monotonic() - started
     return summary
 

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro run E2 E11 --full --seed 7
+    python -m repro sweep E2 --workers 4 --seeds 1 2 3 4
     python -m repro churn --backend scatter --lifetime 120 --duration 90
     python -m repro nemesis gray_failure --backend scatter --duration 60
     python -m repro profile E6 --top 20
@@ -55,6 +56,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print()
             print(render_chart(result, args.chart))
         print(f"[{key} in {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.sweep import derive_seed, run_sweep
+
+    key = _experiment_key(args.experiment)
+    if key is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    seeds = args.seeds
+    if not seeds:
+        seeds = [derive_seed(args.master_seed, key, i) for i in range(args.count)]
+    started = time.time()
+    sweep = run_sweep(key, seeds, quick=not args.full, workers=args.workers)
+    print(sweep.merged.render())
+    if args.fingerprints:
+        print()
+        for seed, digest in sweep.fingerprints():
+            print(f"cell seed={seed} fingerprint={digest}")
+    print(
+        f"[{key} x {len(seeds)} seeds, {args.workers} worker(s) "
+        f"in {time.time() - started:.1f}s wall]"
+    )
     return 0
 
 
@@ -207,7 +235,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     import json
 
-    from repro.check import FuzzConfig, load_repro, replay, run_fuzz
+    from repro.check import FuzzConfig, load_repro, replay, run_fuzz, run_fuzz_sharded
 
     if args.replay:
         try:
@@ -239,7 +267,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         progress=lambda line: print(f"[fuzz] {line}", file=sys.stderr),
     )
     try:
-        summary = run_fuzz(config)
+        if args.workers > 1:
+            if args.minutes is not None:
+                print("--workers requires a fixed --iterations budget; "
+                      "--minutes campaigns run serially", file=sys.stderr)
+                return 2
+            summary = run_fuzz_sharded(config, workers=args.workers)
+        else:
+            summary = run_fuzz(config)
     except ValueError as exc:  # unknown --demo-bug
         print(str(exc), file=sys.stderr)
         return 2
@@ -273,6 +308,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--chart", metavar="COLUMN", default=None,
                        help="also render an ASCII bar chart of this column")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run one experiment across seeds, sharded over worker "
+             "processes; the merged table is byte-identical to a serial run",
+    )
+    p_sweep.add_argument("experiment", help="e.g. E2")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial, the reference)")
+    p_sweep.add_argument("--seeds", type=int, nargs="*", default=None,
+                         help="explicit cell seeds (default: derive --count "
+                              "seeds from --master-seed)")
+    p_sweep.add_argument("--count", type=int, default=4,
+                         help="derived seeds when --seeds is not given")
+    p_sweep.add_argument("--master-seed", type=int, default=1)
+    p_sweep.add_argument("--full", action="store_true", help="paper-scale cells (slow)")
+    p_sweep.add_argument("--fingerprints", action="store_true",
+                         help="also print each cell's table fingerprint")
+    p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_churn = sub.add_parser("churn", help="one ad-hoc churn run with metrics")
     p_churn.add_argument("--backend", choices=["scatter", "chord"], default="scatter")
@@ -339,6 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument("--iterations", type=int, default=25,
                         help="iterations to run (ignored with --minutes)")
+    p_fuzz.add_argument("--workers", type=int, default=1,
+                        help="shard iterations across N processes; the "
+                             "verdict (failing iteration, repro file) matches "
+                             "a serial campaign")
     p_fuzz.add_argument("--minutes", type=float, default=None,
                         help="wall-clock budget; run iterations until it expires")
     p_fuzz.add_argument("--seed", type=int, default=1,

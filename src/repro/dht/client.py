@@ -7,6 +7,7 @@ from typing import Callable
 
 from repro.dht.messages import ClientOpReq
 from repro.dht.ring import hash_key, ring_distance
+from repro.dht.route import RingTable
 from repro.group.info import GroupInfo
 from repro.net.futures import Future, RpcError, RpcTimeout, spawn
 from repro.net.node import Node
@@ -43,6 +44,13 @@ class ClientConfig:
     # ``not_leader`` and the client falls back to the leader, so any
     # mode is safe with follower reads off — just one hop slower.
     read_routing: str = "leader"
+    # Precomputed bisect routing table over the cache (repro.dht.route)
+    # instead of the linear containment scan.  O(log groups) per op, so
+    # large-ring deployments (E21) can run with cache_size covering the
+    # whole ring.  Off by default: with overlapping stale arcs the table
+    # may pick a different (equally valid) containing group than the
+    # scan, so the historical path stays byte-identical.
+    route_table: bool = False
 
     def __post_init__(self) -> None:
         if self.routing not in ("iterative", "recursive"):
@@ -99,6 +107,9 @@ class ScatterClient(Node):
         self.seed_provider = seed_provider
         self.config = config or ClientConfig()
         self.cache: dict[str, GroupInfo] = {}
+        # Lazily rebuilt RingTable over the cache (route_table mode);
+        # None doubles as the dirty flag, cleared by _learn/evictions.
+        self._route_table: RingTable | None = None
         self.records: list[OpRecord] = []
         self._seq = 0
         self._rng = sim.rng(f"client:{client_id}")
@@ -275,8 +286,23 @@ class ScatterClient(Node):
         if cached is None and len(self.cache) >= self.config.cache_size:
             self.cache.pop(next(iter(self.cache)))
         self.cache[info.gid] = info
+        # Re-learning an identical view is the steady-state common case
+        # (every reply carries groups); only an actual change dirties
+        # the routing table, so large-ring runs rebuild it rarely.
+        if cached != info:
+            self._route_table = None
 
     def _best_info(self, key: int) -> GroupInfo | None:
+        if self.config.route_table:
+            if not self.cache:
+                return None
+            table = self._route_table
+            if table is None:
+                table = self._route_table = RingTable(self.cache.values())
+            # The bisect pick is the group whose arc starts closest
+            # behind the key — the containing group for a tiled view,
+            # and exactly the min-ring_distance fallback otherwise.
+            return table.lookup(key)
         containing = [g for g in self.cache.values() if g.range.contains(key)]
         if containing:
             return containing[0]

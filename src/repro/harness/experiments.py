@@ -1505,6 +1505,94 @@ def run_e20(quick: bool = True, seed: int = 20) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# E21: large-ring scale-out (thousands of nodes in one simulated deployment)
+# ---------------------------------------------------------------------------
+def run_e21(quick: bool = True, seed: int = 21) -> ExperimentResult:
+    """Throughput and routing quality as the ring grows to paper scale.
+
+    E6 stops at 240 nodes; this experiment rides the simulator's
+    constant-cost event path (direct-dispatch delivery, message-entry
+    pooling) and the clients' precomputed bisect routing tables
+    (``ClientConfig.route_table``) to thousands of nodes in a single
+    deployment — the regime Scatter's scalability story is actually
+    about.  Client caches are sized to hold the whole ring, so a warm
+    client resolves any key in O(log groups) locally and one hop
+    remotely; ``hops_per_op`` staying ~1 across the sweep is the
+    routing-scalability claim, flat ``p50`` is the latency claim, and
+    near-linear ``ops_per_s`` (client count grows with the ring) is the
+    throughput claim.
+    """
+    result = ExperimentResult(
+        experiment="E21",
+        title="E21: large-ring scale-out — throughput and routing at thousands of nodes",
+        columns=[
+            "nodes", "groups", "clients", "ops_per_s", "p50_ms",
+            "hops_per_op", "msgs_per_op", "sim_events",
+        ],
+        notes=(
+            "whole-ring client caches with precomputed routing tables "
+            "(ClientConfig.route_table); closed-loop clients scale with "
+            "nodes; hops_per_op ~ 1 means routing stays O(1) network "
+            "hops as the ring grows; sim_events is the deterministic "
+            "event count per measurement window"
+        ),
+    )
+    sizes = [120, 240] if quick else [500, 1000, 2000]
+    duration = 6.0 if quick else 30.0
+    total_events = 0
+    total_wall = 0.0
+    for n in sizes:
+        wall_start = time.perf_counter()
+        n_groups = n // 3
+        params = DeploymentParams(
+            n_nodes=n, n_groups=n_groups, n_clients=max(2, n // 50), seed=seed
+        )
+        deployment = build_scatter_deployment(
+            params,
+            client_config=ClientConfig(route_table=True, cache_size=n_groups + 16),
+        )
+        sim, clients = deployment.sim, deployment.clients
+        workload = ClosedLoopWorkload(
+            sim, clients, UniformKeys(8 * n), read_fraction=0.9, think_time=0.0
+        )
+        workload.start()
+        sim.run_for(2.0)  # warm the client caches before measuring
+        start = sim.now
+        msgs_before = deployment.net.stats.sent
+        events_before = sim.events_processed
+        sim.run_for(duration)
+        msgs_during = deployment.net.stats.sent - msgs_before
+        events_during = sim.events_processed - events_before
+        workload.stop()
+        sim.run_for(1.0)
+        records = workload.all_records()
+        metrics = workload_metrics(records, window=(start, start + duration))
+        hops = [
+            r.hops
+            for r in records
+            if r.completed and start <= r.invoke_time < start + duration
+        ]
+        result.add(
+            nodes=n,
+            groups=n_groups,
+            clients=params.n_clients,
+            ops_per_s=metrics["completed"] / duration,
+            p50_ms=1000 * metrics["latency_p50"],
+            hops_per_op=mean(hops) if hops else float("nan"),
+            msgs_per_op=msgs_during / max(1, metrics["completed"]),
+            sim_events=events_during,
+        )
+        total_events += sim.events_processed
+        total_wall += time.perf_counter() - wall_start
+    result.perf = {
+        "events_per_s_wall": round(total_events / total_wall, 1) if total_wall else 0.0,
+        "total_sim_events": total_events,
+        "wall_s": round(total_wall, 2),
+    }
+    return result
+
+
 EXPERIMENT_TITLES = {
     "E1": "inconsistent lookups in a Chord-style DHT vs churn (motivation)",
     "E2": "linearizability violations, Scatter vs Chord, under churn (headline)",
@@ -1526,6 +1614,7 @@ EXPERIMENT_TITLES = {
     "E18": "data survival under permanent node loss (self-healing vs baselines)",
     "E19": "write-path saturation: batching x pipelining x fsync coalescing",
     "E20": "read scale-out: follower reads vs leader-only, by replica count",
+    "E21": "large-ring scale-out: throughput and routing at thousands of nodes",
 }
 
 def _with_wall_clock(fn):
@@ -1571,6 +1660,7 @@ ALL_EXPERIMENTS = {
         "E18": run_e18,
         "E19": run_e19,
         "E20": run_e20,
+        "E21": run_e21,
     }.items()
 }
 

@@ -29,11 +29,20 @@ class ExperimentResult:
         return [row.get(name) for row in self.rows]
 
     def render(self) -> str:
-        table = format_table(self.title, self.columns, self.rows, self.notes)
+        table = self.table()
         if self.perf:
             parts = ", ".join(f"{k}={_fmt(v)}" for k, v in self.perf.items())
             table += f"\nwall-clock: {parts}"
         return table
+
+    def table(self) -> str:
+        """The deterministic part of :meth:`render` — no perf footer.
+
+        This is the string the sweep determinism suite compares
+        byte-for-byte between serial and parallel runs (wall-clock can
+        never agree, so it stays out).
+        """
+        return format_table(self.title, self.columns, self.rows, self.notes)
 
 
 def _fmt(value) -> str:

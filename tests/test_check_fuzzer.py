@@ -124,6 +124,59 @@ class TestDemoBugCanary:
         assert observed.name == recorded.name
 
 
+class TestShardedCampaign:
+    """``--workers N`` sharding must not change a campaign's verdict.
+
+    Plans derive purely from (master_seed, iteration), so sharding the
+    iteration space across processes can change only the bookkeeping
+    (how many iterations were attempted before the stop), never which
+    iteration fails first or what the repro file contains.
+    """
+
+    def test_sharded_clean_campaign_matches_serial(self):
+        from repro.check import run_fuzz_sharded
+
+        sharded = run_fuzz_sharded(FuzzConfig(master_seed=1, iterations=3), workers=2)
+        serial = run_fuzz(FuzzConfig(master_seed=1, iterations=3))
+        assert not sharded.found and not serial.found
+        assert sharded.iterations_run == serial.iterations_run == 3
+        assert sharded.ops_total == serial.ops_total
+        assert sharded.events_total == serial.events_total
+
+    @pytest.mark.slow
+    def test_sharded_finds_demo_bug_and_replay_reproduces(self, tmp_path):
+        from repro.check import run_fuzz_sharded
+
+        sharded = run_fuzz_sharded(
+            FuzzConfig(
+                master_seed=1,
+                iterations=4,
+                bug="quorum-off-by-one",
+                out_dir=str(tmp_path / "sharded"),
+            ),
+            workers=2,
+        )
+        serial = run_fuzz(
+            FuzzConfig(
+                master_seed=1,
+                iterations=4,
+                bug="quorum-off-by-one",
+                out_dir=str(tmp_path / "serial"),
+            )
+        )
+        assert sharded.found and serial.found
+        # Min failing iteration across shards == the serial stop point.
+        assert sharded.failing_iteration == serial.failing_iteration
+        assert sharded.failure.kind == serial.failure.kind
+        assert sharded.failure.name == serial.failure.name
+        assert sharded.shrink == serial.shrink
+        # Byte-identical repro file, and it replays in-process.
+        with open(sharded.repro_path, "rb") as fa, open(serial.repro_path, "rb") as fb:
+            assert fa.read() == fb.read()
+        reproduced, observed, recorded = replay(load_repro(sharded.repro_path))
+        assert reproduced, f"replay diverged: observed={observed} recorded={recorded}"
+
+
 class TestRepairRaceCanary:
     """The repair-race demo bug: the roster says healed, replication lies.
 

@@ -1,6 +1,6 @@
 """Smoke sweep: every registered experiment runs in quick mode.
 
-A thin well-formedness gate over the whole E1-E20 registry: each
+A thin well-formedness gate over the whole E1-E21 registry: each
 experiment must return an :class:`ExperimentResult` with rows, columns
 that cover the rows, and wall-clock perf populated by the harness
 wrapper.  Marked slow — the sweep takes about half a minute and CI's
@@ -35,3 +35,23 @@ def test_experiment_quick_mode_is_well_formed(name):
                 assert not math.isnan(value), f"{name}: NaN in column {key}"
     assert "wall_s" in result.perf, f"{name}: perf.wall_s not stamped"
     assert result.perf["wall_s"] >= 0.0
+
+
+def test_e18_quick_covers_all_three_backends():
+    """E18 (permanent-loss survival) exercises every backend variant."""
+    result = ALL_EXPERIMENTS["E18"](quick=True)
+    assert set(result.column("backend")) == {"scatter+repair", "chord+zave", "chord"}
+    assert all(r["losses"] > 0 for r in result.rows), "the storm actually ran"
+    assert all(r["keys_total"] > 0 for r in result.rows)
+
+
+def test_e21_quick_scales_the_ring_with_flat_routing():
+    """E21 (large-ring scale-out): sizes ascend, routing stays ~1 hop."""
+    result = ALL_EXPERIMENTS["E21"](quick=True)
+    nodes = result.column("nodes")
+    assert nodes == sorted(nodes) and len(nodes) >= 2
+    assert all(r["sim_events"] > 0 for r in result.rows)
+    # Whole-ring caches + route tables: a warm client needs ~1 network
+    # hop per op regardless of ring size.
+    assert all(r["hops_per_op"] < 2.0 for r in result.rows)
+    assert "total_sim_events" in result.perf

@@ -20,6 +20,8 @@ BENCH_NAMES = {
     "event_throughput_handles",
     "net_send_deliver",
     "net_send_deliver_faulty",
+    "pooled_send_deliver",
+    "ring_lookup_10k",
     "e2e_scatter_ops",
     "write_path_saturation",
 }
@@ -38,12 +40,20 @@ class TestMicrobenchmarks:
             assert bench["value"] > 0
             assert bench["wall_s"] > 0
             assert bench["units_completed"] > 0
-            assert bench["metric"] in ("events_per_s", "msgs_per_s")
+            assert bench["metric"] in ("events_per_s", "msgs_per_s", "lookups_per_s")
 
     def test_e2e_reports_ops(self, quick_report):
         e2e = next(b for b in quick_report["benchmarks"] if b["name"] == "e2e_scatter_ops")
         assert e2e["ops_completed"] > 0
         assert e2e["ops_per_s"] > 0
+
+    def test_scaleout_benches_record_ab_ratios(self, quick_report):
+        """The scale-out benches time both sides of their A/B in one run."""
+        by_name = {b["name"]: b for b in quick_report["benchmarks"]}
+        assert by_name["pooled_send_deliver"]["speedup_vs_unpooled"] > 1.0
+        assert by_name["pooled_send_deliver"]["unpooled_msgs_per_s"] > 0
+        assert by_name["ring_lookup_10k"]["speedup_vs_linear"] > 1.5
+        assert by_name["ring_lookup_10k"]["groups"] > 0
 
     def test_render_report(self, quick_report):
         text = render_report(quick_report)
